@@ -1,0 +1,55 @@
+// Ablation A: allocation quality of DNNK (Alg. 1) versus a value-density
+// greedy and, where tractable, the exhaustive optimum — over the three
+// networks and a sweep of on-chip capacities. This isolates the knapsack
+// from the rest of the pipeline: same entities, same virtual buffers.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace lcmm;
+  util::Table table({"net", "capacity (MB)", "buffers", "greedy gain (ms)",
+                     "DNNK gain (ms)", "DNNK / greedy", "exact gain (ms)"});
+  for (const auto& [label, model_name] : bench::kSuite) {
+    const auto graph = models::build_by_name(model_name);
+    core::LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16);
+    const auto umm = compiler.compile_umm(graph);
+    hw::PerfModel model(graph, umm.design);
+    core::LatencyTables tables(model);
+
+    core::LivenessOptions liveness;
+    std::vector<core::TensorEntity> entities =
+        core::build_feature_entities(model, liveness);
+    const auto prefetch = core::build_prefetch_schedule(model, liveness);
+    auto weights = core::build_weight_entities(model, prefetch);
+    entities.insert(entities.end(), weights.begin(), weights.end());
+    core::InterferenceGraph ig(std::move(entities));
+    const auto buffers =
+        core::build_virtual_buffers(ig, core::color_min_total_size(ig));
+
+    for (double cap_mb : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+      const std::int64_t cap = static_cast<std::int64_t>(cap_mb * (1 << 20));
+      const auto greedy = core::greedy_allocate(ig, buffers, tables, cap);
+      const auto dnnk = core::dnnk_allocate(ig, buffers, tables, cap);
+      std::string exact = "-";
+      if (buffers.size() <= 16) {
+        exact = util::fmt_fixed(
+            core::exact_allocate(ig, buffers, tables, cap).gain_s * 1e3, 3);
+      }
+      table.add_row(
+          {label, util::fmt_fixed(cap_mb, 0), std::to_string(buffers.size()),
+           util::fmt_fixed(greedy.gain_s * 1e3, 3),
+           util::fmt_fixed(dnnk.gain_s * 1e3, 3),
+           greedy.gain_s > 0
+               ? util::fmt_fixed(dnnk.gain_s / greedy.gain_s, 2)
+               : "-",
+           exact});
+    }
+    table.add_separator();
+  }
+  std::cout << "Ablation A: allocator quality (latency-reduction, 16-bit)\n"
+            << table
+            << "DNNK's pivot compensation accounts for same-node tensor "
+               "interactions the greedy misses.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Energy extension: UMM vs LCMM per-image energy across the suite at
+// 16-bit. LCMM's DRAM-traffic elimination is also an energy optimization —
+// DRAM bytes cost ~100x SRAM bytes. (Not part of the paper's evaluation;
+// constants documented in sim/energy.hpp.)
+#include <iostream>
+
+#include "common.hpp"
+#include "sim/energy.hpp"
+
+int main() {
+  using namespace lcmm;
+  util::Table table({"net", "design", "DRAM (MB/img)", "DRAM (mJ)",
+                     "SRAM (mJ)", "compute (mJ)", "static (mJ)", "total (mJ)",
+                     "Gops/J", "energy saving"});
+  for (const auto& [label, model_name] : bench::kSuite) {
+    const auto graph = models::build_by_name(model_name);
+    const bench::PairResult r = bench::run_pair(graph, hw::Precision::kInt16);
+    const double ops = 2.0 * static_cast<double>(graph.total_macs());
+    const sim::EnergyReport umm =
+        estimate_energy(graph, r.umm_plan, r.umm_sim);
+    const sim::EnergyReport lcmm =
+        estimate_energy(graph, r.lcmm_plan, r.lcmm_sim);
+    for (const auto& [name, e] :
+         {std::pair{"UMM", &umm}, std::pair{"LCMM", &lcmm}}) {
+      table.add_row(
+          {label, name, util::fmt_fixed(e->dram_bytes / (1 << 20), 1),
+           util::fmt_fixed(e->dram_mj, 2), util::fmt_fixed(e->sram_mj, 2),
+           util::fmt_fixed(e->compute_mj, 2), util::fmt_fixed(e->static_mj, 2),
+           util::fmt_fixed(e->total_mj(), 2),
+           util::fmt_fixed(e->gops_per_joule(ops), 1),
+           e == &lcmm
+               ? util::fmt_pct(1.0 - lcmm.total_mj() / umm.total_mj()) + "%"
+               : ""});
+    }
+    table.add_separator();
+  }
+  std::cout << "Energy extension: per-image energy (16-bit)\n" << table;
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared harness glue for the paper-reproduction benches: compiles the UMM
+// baseline and the LCMM plan for a (network, precision) pair, simulates
+// both, and returns the report rows the tables print.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "lcmm.hpp"
+
+namespace lcmm::bench {
+
+struct PairResult {
+  core::AllocationPlan umm_plan;
+  core::AllocationPlan lcmm_plan;
+  sim::SimResult umm_sim;
+  sim::SimResult lcmm_sim;
+  sim::DesignReport umm;
+  sim::DesignReport lcmm;
+
+  double speedup() const { return umm.latency_ms / lcmm.latency_ms; }
+};
+
+inline PairResult run_pair(const graph::ComputationGraph& graph,
+                           hw::Precision precision,
+                           const core::LcmmOptions& options = {}) {
+  core::LcmmCompiler compiler(hw::FpgaDevice::vu9p(), precision, options);
+  PairResult r;
+  r.umm_plan = compiler.compile_umm(graph);
+  r.umm_sim = sim::simulate(graph, r.umm_plan);
+  r.umm = sim::make_report(graph, r.umm_plan, r.umm_sim);
+  r.lcmm_plan = compiler.compile(graph);
+  r.lcmm_sim = sim::refine_against_stalls(graph, r.lcmm_plan);
+  r.lcmm = sim::make_report(graph, r.lcmm_plan, r.lcmm_sim);
+  return r;
+}
+
+/// The paper's benchmark suite: (table label, model registry name).
+inline const std::pair<const char*, const char*> kSuite[] = {
+    {"RN", "resnet152"}, {"GN", "googlenet"}, {"IN", "inception_v4"}};
+
+inline std::string precision_label(hw::Precision p) { return hw::to_string(p); }
+
+}  // namespace lcmm::bench

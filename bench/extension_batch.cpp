@@ -1,0 +1,40 @@
+// Batch-size extension: the paper optimizes batch-1 latency. Batching
+// amortizes weight tiles across images but scales activations linearly, so
+// the interesting question is where LCMM's on-chip activation buffers stop
+// fitting — quantified here at 16-bit, batch 1..8.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace lcmm;
+  util::Table table({"net", "batch", "UMM ms/img", "UMM Tops", "LCMM ms/img",
+                     "LCMM Tops", "speedup"});
+  for (const auto& [label, model_name] : bench::kSuite) {
+    const auto graph = models::build_by_name(model_name);
+    for (int batch : {1, 2, 4, 8}) {
+      core::LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16);
+      core::AllocationPlan umm = compiler.compile_umm(graph);
+      umm.design.batch = batch;
+      core::AllocationPlan plan = compiler.compile_with_design(graph, umm.design);
+      const auto usim = sim::simulate(graph, umm);
+      const auto lsim = sim::refine_against_stalls(graph, plan);
+      const double ops = 2.0 * static_cast<double>(graph.total_macs()) * batch;
+      table.add_row({label, std::to_string(batch),
+                     util::fmt_fixed(usim.total_s / batch * 1e3, 3),
+                     util::fmt_fixed(ops / usim.total_s / 1e12, 3),
+                     util::fmt_fixed(lsim.total_s / batch * 1e3, 3),
+                     util::fmt_fixed(ops / lsim.total_s / 1e12, 3),
+                     util::fmt_fixed(usim.total_s / lsim.total_s, 2) + "x"});
+    }
+    table.add_separator();
+  }
+  std::cout << "Batch-size extension (16-bit): per-image latency vs batch\n"
+            << table
+            << "Activation-bound layers stay bound under batching (activations "
+               "scale with the batch), so the uniform baseline barely moves; "
+               "LCMM keeps winning until batched activations outgrow the "
+               "on-chip capacity, where its edge collapses back toward the "
+               "baseline.\n";
+  return 0;
+}

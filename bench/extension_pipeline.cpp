@@ -1,0 +1,41 @@
+// Future-work extension (paper §4.2): LCMM composed with TGPA-style
+// multi-accelerator pipelining. The device is sliced into K stages, the
+// network is cut by a bottleneck-minimizing DP, and every stage is compiled
+// by LCMM on its slice. Throughput scales with the pipeline; single-image
+// latency stays roughly flat — the TGPA trade the paper describes.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/pipeline.hpp"
+
+int main() {
+  using namespace lcmm;
+  util::Table table({"net", "stages", "II (ms)", "latency (ms)", "img/s",
+                     "throughput vs K=1", "stage latencies (ms)"});
+  for (const auto& [label, model_name] : bench::kSuite) {
+    const auto graph = models::build_by_name(model_name);
+    core::PipelinePartitioner part(hw::FpgaDevice::vu9p(),
+                                   hw::Precision::kInt16);
+    double base_throughput = 0.0;
+    for (int k = 1; k <= 4; ++k) {
+      const core::PipelinePlan plan = part.partition(graph, k);
+      if (k == 1) base_throughput = plan.throughput_images_per_s();
+      std::string stages;
+      for (const auto& s : plan.segments) {
+        if (!stages.empty()) stages += " / ";
+        stages += util::fmt_fixed(s.latency_s * 1e3, 2);
+      }
+      table.add_row({label, std::to_string(k),
+                     util::fmt_fixed(plan.bottleneck_s * 1e3, 3),
+                     util::fmt_fixed(plan.latency_s * 1e3, 3),
+                     util::fmt_fixed(plan.throughput_images_per_s(), 1),
+                     util::fmt_fixed(plan.throughput_images_per_s() /
+                                         base_throughput, 2) + "x",
+                     stages});
+    }
+    table.add_separator();
+  }
+  std::cout << "Pipeline extension: LCMM x multi-accelerator stages (16-bit)\n"
+            << table;
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Reproduces Fig. 2(b): the on-chip allocation design space of Inception-v4.
+// The network has 14 inception blocks; for each of the 2^14 = 16384 subsets
+// we put the (memory-bound) tensors of the chosen blocks on chip and
+// evaluate memory consumption vs attained performance. The paper's point:
+// more on-chip memory does NOT necessarily mean higher performance, and
+// many points near the 40 MB device limit are far from the optimum.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+
+int main() {
+  using namespace lcmm;
+  const auto graph = models::build_inception_v4();
+  core::LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt8);
+  const core::AllocationPlan umm = compiler.compile_umm(graph);
+  hw::PerfModel model(graph, umm.design);
+  core::LatencyTables tables(model);
+  const double total_ops = model.total_nominal_ops();
+
+  // Group the allocation entities per inception block.
+  std::vector<std::string> blocks;
+  for (const std::string& s : graph.stages()) {
+    if (s.rfind("inception_", 0) == 0) blocks.push_back(s);
+  }
+  const int nblocks = static_cast<int>(blocks.size());
+  std::cout << "Fig. 2(b): design space over " << nblocks
+            << " inception blocks -> " << (1 << nblocks) << " points\n";
+
+  // The §2.2 sweep chooses where to store each block's data wholesale —
+  // before any buffer sharing, so block footprints are raw tensor sums.
+  core::LivenessOptions liveness;
+  liveness.include_compute_bound = true;
+  std::vector<core::TensorEntity> entities =
+      core::build_feature_entities(model, liveness);
+  {
+    const auto prefetch = core::build_prefetch_schedule(model, liveness);
+    auto weights = core::build_weight_entities(model, prefetch);
+    entities.insert(entities.end(), weights.begin(), weights.end());
+  }
+
+  // Per block: the member tensors and the block's raw (unshared) footprint.
+  std::vector<std::vector<core::TensorKey>> block_keys(blocks.size());
+  std::vector<std::int64_t> block_bytes(blocks.size(), 0);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (const auto& e : entities) {
+      if (graph.layer(e.key.layer).stage == blocks[b]) {
+        block_keys[b].push_back(e.key);
+        block_bytes[b] += e.bytes;
+      }
+    }
+  }
+
+  // Exhaustive sweep.
+  struct Point {
+    double mem_mb;
+    double tops;
+  };
+  std::vector<Point> points;
+  points.reserve(1u << nblocks);
+  const double device_mb =
+      static_cast<double>(hw::FpgaDevice::vu9p().sram_bytes_total()) / (1 << 20);
+  Point best{0, 0};
+  unsigned best_mask = 0;
+  for (unsigned mask = 0; mask < (1u << nblocks); ++mask) {
+    core::OnChipState state(graph.num_layers());
+    double mem = 0;
+    for (int b = 0; b < nblocks; ++b) {
+      if (!(mask >> b & 1u)) continue;
+      mem += static_cast<double>(block_bytes[static_cast<std::size_t>(b)]);
+      for (const core::TensorKey& k : block_keys[static_cast<std::size_t>(b)]) {
+        state.set(k, true);
+      }
+    }
+    const double tops = total_ops / tables.total_latency(state) / 1e12;
+    const Point pt{mem / (1 << 20), tops};
+    points.push_back(pt);
+    if (pt.tops > best.tops) {
+      best = pt;
+      best_mask = mask;
+    }
+  }
+
+  // Summarize the scatter: per memory decile, the min/max performance.
+  const double max_mem =
+      std::max_element(points.begin(), points.end(), [](auto& a, auto& b) {
+        return a.mem_mb < b.mem_mb;
+      })->mem_mb;
+  util::Table deciles({"memory bin (MB)", "points", "min Tops", "max Tops"});
+  const int bins = 10;
+  for (int i = 0; i < bins; ++i) {
+    const double lo = max_mem * i / bins, hi = max_mem * (i + 1) / bins;
+    double mn = 1e30, mx = 0;
+    int count = 0;
+    for (const Point& pt : points) {
+      if (pt.mem_mb >= lo && (pt.mem_mb < hi || i == bins - 1)) {
+        mn = std::min(mn, pt.tops);
+        mx = std::max(mx, pt.tops);
+        ++count;
+      }
+    }
+    if (count == 0) continue;
+    deciles.add_row({util::fmt_fixed(lo, 1) + " - " + util::fmt_fixed(hi, 1),
+                     std::to_string(count), util::fmt_fixed(mn, 3),
+                     util::fmt_fixed(mx, 3)});
+  }
+  std::cout << deciles;
+
+  // The paper's observation, quantified.
+  int near_limit_suboptimal = 0, near_limit = 0;
+  for (const Point& pt : points) {
+    if (pt.mem_mb > 0.8 * device_mb && pt.mem_mb <= device_mb) {
+      ++near_limit;
+      if (pt.tops < 0.99 * best.tops) ++near_limit_suboptimal;
+    }
+  }
+  std::cout << "\nbest point: " << util::fmt_fixed(best.tops, 3) << " Tops at "
+            << util::fmt_fixed(best.mem_mb, 1) << " MB (blocks mask 0x"
+            << std::hex << best_mask << std::dec << ")\n"
+            << "device limit: " << util::fmt_fixed(device_mb, 1) << " MB\n";
+  if (near_limit > 0) {
+    std::cout << "points within [80%, 100%] of the device limit that are >1% "
+                 "below the best performance: "
+              << near_limit_suboptimal << " / " << near_limit
+              << "  (\"more on-chip memory does not necessarily mean higher "
+                 "performance\")\n";
+  }
+  // Cheapest point achieving 99% of best: the frontier's knee.
+  double knee_mem = max_mem;
+  for (const Point& pt : points) {
+    if (pt.tops >= 0.99 * best.tops) knee_mem = std::min(knee_mem, pt.mem_mb);
+  }
+  std::cout << "cheapest point within 1% of best: "
+            << util::fmt_fixed(knee_mem, 1) << " MB\n";
+  return 0;
+}

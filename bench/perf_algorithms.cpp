@@ -1,0 +1,106 @@
+// Algorithm-runtime microbenchmarks (google-benchmark): the compile-time
+// cost of each LCMM pass on the real networks. The paper's framework runs
+// inside a DSE loop, so pass runtime matters.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "lcmm.hpp"
+
+namespace {
+
+using namespace lcmm;
+
+const graph::ComputationGraph& cached_model(const std::string& name) {
+  static std::map<std::string, graph::ComputationGraph> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, models::build_by_name(name)).first;
+  }
+  return it->second;
+}
+
+hw::AcceleratorDesign design_for(const graph::ComputationGraph& g) {
+  const hw::Dse dse(hw::FpgaDevice::vu9p(), hw::Precision::kInt16, {});
+  return dse.explore(g).design;
+}
+
+void BM_ModelBuild(benchmark::State& state, const char* name) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::build_by_name(name).num_layers());
+  }
+}
+BENCHMARK_CAPTURE(BM_ModelBuild, resnet152, "resnet152");
+BENCHMARK_CAPTURE(BM_ModelBuild, inception_v4, "inception_v4");
+
+void BM_PerfModel(benchmark::State& state, const char* name) {
+  const auto& g = cached_model(name);
+  const auto design = design_for(g);
+  for (auto _ : state) {
+    hw::PerfModel model(g, design);
+    benchmark::DoNotOptimize(model.umm_total_latency());
+  }
+}
+BENCHMARK_CAPTURE(BM_PerfModel, resnet152, "resnet152");
+BENCHMARK_CAPTURE(BM_PerfModel, inception_v4, "inception_v4");
+
+void BM_LivenessAndColoring(benchmark::State& state, const char* name) {
+  const auto& g = cached_model(name);
+  const auto design = design_for(g);
+  hw::PerfModel model(g, design);
+  core::LivenessOptions opt;
+  opt.include_compute_bound = true;
+  for (auto _ : state) {
+    core::InterferenceGraph ig(core::build_feature_entities(model, opt));
+    benchmark::DoNotOptimize(core::color_min_total_size(ig).total_bytes);
+  }
+}
+BENCHMARK_CAPTURE(BM_LivenessAndColoring, resnet152, "resnet152");
+BENCHMARK_CAPTURE(BM_LivenessAndColoring, inception_v4, "inception_v4");
+
+void BM_DnnkAllocation(benchmark::State& state, const char* name) {
+  const auto& g = cached_model(name);
+  const auto design = design_for(g);
+  hw::PerfModel model(g, design);
+  core::LatencyTables tables(model);
+  core::LivenessOptions opt;
+  opt.include_compute_bound = true;
+  core::InterferenceGraph ig(core::build_feature_entities(model, opt));
+  const auto buffers =
+      core::build_virtual_buffers(ig, core::color_min_total_size(ig));
+  const std::int64_t cap = std::int64_t{16} << 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::dnnk_allocate(ig, buffers, tables, cap).gain_s);
+  }
+  state.counters["buffers"] = static_cast<double>(buffers.size());
+}
+BENCHMARK_CAPTURE(BM_DnnkAllocation, resnet152, "resnet152");
+BENCHMARK_CAPTURE(BM_DnnkAllocation, inception_v4, "inception_v4");
+
+void BM_FullCompile(benchmark::State& state, const char* name) {
+  const auto& g = cached_model(name);
+  core::LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler.compile(g).est_latency_s);
+  }
+}
+BENCHMARK_CAPTURE(BM_FullCompile, resnet152, "resnet152");
+BENCHMARK_CAPTURE(BM_FullCompile, googlenet, "googlenet");
+BENCHMARK_CAPTURE(BM_FullCompile, inception_v4, "inception_v4");
+
+void BM_Simulate(benchmark::State& state, const char* name) {
+  const auto& g = cached_model(name);
+  core::LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16);
+  const auto plan = compiler.compile(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(g, plan).total_s);
+  }
+}
+BENCHMARK_CAPTURE(BM_Simulate, resnet152, "resnet152");
+BENCHMARK_CAPTURE(BM_Simulate, inception_v4, "inception_v4");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Reproduces Table 2: on-chip memory utilization — BRAM %, URAM % and POL
+// (the percentage of memory-bound layers that benefit from LCMM) for every
+// (network, precision) pair, plus the tensor-buffer census the paper
+// describes for ResNet-152 ("14 buffers ... 9 of them consuming 32 URAM
+// blocks").
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+
+int main() {
+  using namespace lcmm;
+  util::Table table({"Design", "Net", "BRAM %", "URAM %", "POL %",
+                     "Tensor buffers", "Tensor bytes"});
+  std::map<std::string, bench::PairResult> kept;
+  for (hw::Precision p : hw::kAllPrecisions) {
+    for (const auto& [label, model_name] : bench::kSuite) {
+      const auto graph = models::build_by_name(model_name);
+      bench::PairResult r = bench::run_pair(graph, p);
+      table.add_row({std::string("UMM ") + hw::to_string(p), label,
+                     util::fmt_pct(r.umm.bram_util), util::fmt_pct(r.umm.uram_util),
+                     "-", "0", "0"});
+      table.add_row({std::string("LCMM ") + hw::to_string(p), label,
+                     util::fmt_pct(r.lcmm.bram_util),
+                     util::fmt_pct(r.lcmm.uram_util), util::fmt_pct(r.lcmm.pol),
+                     std::to_string(r.lcmm.num_on_chip_buffers),
+                     util::fmt_mebibytes(static_cast<double>(
+                         r.lcmm.tensor_buffer_bytes))});
+      if (label == std::string("RN") && p == hw::Precision::kInt8) {
+        kept.emplace("RN8", std::move(r));
+      }
+    }
+    table.add_separator();
+  }
+  std::cout << "Table 2: On-chip memory utilization\n" << table;
+
+  // Buffer census for ResNet-152 8-bit, mirroring the paper's prose.
+  const auto it = kept.find("RN8");
+  if (it != kept.end()) {
+    std::map<int, int> by_blocks;
+    for (const core::PhysicalBuffer& b : it->second.lcmm_plan.physical) {
+      if (b.sram.pool == mem::SramPool::kUram) ++by_blocks[b.sram.blocks];
+    }
+    std::cout << "\nResNet-152 8-bit URAM tensor-buffer census "
+                 "(blocks-per-buffer: count):\n";
+    for (const auto& [blocks, count] : by_blocks) {
+      std::cout << "  " << blocks << " URAM blocks: " << count << " buffer"
+                << (count > 1 ? "s" : "") << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Deployment study for a throughput-oriented service: compose LCMM with
+// multi-accelerator pipelining (the paper's noted future-work direction)
+// and pick the stage count that maximizes images/second under a latency
+// ceiling.
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "lcmm.hpp"
+
+int main() {
+  using namespace lcmm;
+  const auto net = models::build_googlenet();
+  const double latency_ceiling_ms = 10.0;
+
+  core::PipelinePartitioner partitioner(hw::FpgaDevice::vu9p(),
+                                        hw::Precision::kInt16);
+  std::cout << "GoogLeNet 16-bit on VU9P, latency ceiling "
+            << latency_ceiling_ms << " ms\n\n";
+
+  util::Table table({"stages", "II (ms)", "latency (ms)", "img/s",
+                     "meets ceiling", "per-stage layers"});
+  int best_k = 1;
+  double best_throughput = 0.0;
+  for (int k = 1; k <= 4; ++k) {
+    const core::PipelinePlan plan = partitioner.partition(net, k);
+    const bool ok = plan.latency_s * 1e3 <= latency_ceiling_ms;
+    std::string sizes;
+    for (const auto& s : plan.segments) {
+      if (!sizes.empty()) sizes += "+";
+      sizes += std::to_string(s.subgraph.num_layers());
+    }
+    if (ok && plan.throughput_images_per_s() > best_throughput) {
+      best_throughput = plan.throughput_images_per_s();
+      best_k = k;
+    }
+    table.add_row({std::to_string(k),
+                   util::fmt_fixed(plan.bottleneck_s * 1e3, 3),
+                   util::fmt_fixed(plan.latency_s * 1e3, 3),
+                   util::fmt_fixed(plan.throughput_images_per_s(), 1),
+                   ok ? "yes" : "no", sizes});
+  }
+  std::cout << table << "\nchosen configuration: " << best_k << " stage"
+            << (best_k > 1 ? "s" : "") << " at "
+            << util::fmt_fixed(best_throughput, 1) << " img/s\n";
+
+  // Inspect the chosen stages' allocations.
+  const core::PipelinePlan chosen = partitioner.partition(net, best_k);
+  for (const auto& s : chosen.segments) {
+    std::cout << "  stage [" << s.first_step << ".." << s.last_step << "]: "
+              << util::fmt_fixed(s.latency_s * 1e3, 3) << " ms, "
+              << s.plan.physical.size() << " tensor buffers, URAM "
+              << util::fmt_pct(s.plan.uram_utilization()) << "%\n";
+  }
+  return 0;
+}

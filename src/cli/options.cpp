@@ -1,0 +1,181 @@
+#include "cli/options.hpp"
+
+#include <sstream>
+
+#include "models/models.hpp"
+
+namespace lcmm::cli {
+
+namespace {
+
+bool consume_value(const std::vector<std::string>& args, std::size_t& i,
+                   const std::string& flag, std::string& out) {
+  if (args[i] == flag) {
+    if (i + 1 >= args.size()) throw CliError(flag + " needs a value");
+    out = args[++i];
+    return true;
+  }
+  const std::string prefix = flag + "=";
+  if (args[i].rfind(prefix, 0) == 0) {
+    out = args[i].substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+int to_int(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw CliError(flag + ": expected an integer, got '" + value + "'");
+  }
+}
+
+double to_double(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw CliError(flag + ": expected a number, got '" + value + "'");
+  }
+}
+
+}  // namespace
+
+hw::FpgaDevice resolve_device(const std::string& name) {
+  if (name == "vu9p") return hw::FpgaDevice::vu9p();
+  if (name == "zu9eg") return hw::FpgaDevice::zu9eg();
+  if (name == "u250") return hw::FpgaDevice::u250();
+  throw CliError("unknown device '" + name + "' (vu9p, zu9eg, u250)");
+}
+
+Options parse_cli(const std::vector<std::string>& args) {
+  Options opt;
+  std::string value;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      opt.show_help = true;
+    } else if (arg == "--verbose" || arg == "-v") {
+      opt.verbose = true;
+    } else if (consume_value(args, i, "--model", value)) {
+      opt.model = value;
+    } else if (consume_value(args, i, "--graph", value)) {
+      opt.graph_file = value;
+    } else if (consume_value(args, i, "--precision", value)) {
+      if (value == "8") {
+        opt.precision = hw::Precision::kInt8;
+      } else if (value == "16") {
+        opt.precision = hw::Precision::kInt16;
+      } else if (value == "32") {
+        opt.precision = hw::Precision::kFp32;
+      } else {
+        throw CliError("--precision must be 8, 16 or 32");
+      }
+    } else if (consume_value(args, i, "--device", value)) {
+      resolve_device(value);  // validate eagerly
+      opt.device = value;
+    } else if (consume_value(args, i, "--design", value)) {
+      if (value == "umm") {
+        opt.design = DesignChoice::kUmm;
+      } else if (value == "lcmm") {
+        opt.design = DesignChoice::kLcmm;
+      } else if (value == "both") {
+        opt.design = DesignChoice::kBoth;
+      } else {
+        throw CliError("--design must be umm, lcmm or both");
+      }
+    } else if (consume_value(args, i, "--format", value)) {
+      if (value == "text") {
+        opt.format = OutputFormat::kText;
+      } else if (value == "json") {
+        opt.format = OutputFormat::kJson;
+      } else if (value == "csv") {
+        opt.format = OutputFormat::kCsv;
+      } else {
+        throw CliError("--format must be text, json or csv");
+      }
+    } else if (consume_value(args, i, "--allocator", value)) {
+      if (value == "dnnk") {
+        opt.lcmm.allocator = core::AllocatorKind::kDnnk;
+      } else if (value == "greedy") {
+        opt.lcmm.allocator = core::AllocatorKind::kGreedy;
+      } else if (value == "exact") {
+        opt.lcmm.allocator = core::AllocatorKind::kExact;
+      } else {
+        throw CliError("--allocator must be dnnk, greedy or exact");
+      }
+    } else if (consume_value(args, i, "--dse-passes", value)) {
+      opt.lcmm.dse_passes = to_int("--dse-passes", value);
+    } else if (consume_value(args, i, "--capacity-fraction", value)) {
+      opt.lcmm.sram_capacity_fraction = to_double("--capacity-fraction", value);
+    } else if (arg == "--no-feature-reuse") {
+      opt.lcmm.feature_reuse = false;
+    } else if (arg == "--no-prefetch") {
+      opt.lcmm.weight_prefetch = false;
+    } else if (arg == "--no-splitting") {
+      opt.lcmm.buffer_splitting = false;
+    } else if (arg == "--no-promotion") {
+      opt.lcmm.residency_promotion = false;
+    } else if (arg == "--no-fallback") {
+      opt.lcmm.allow_fallback_to_umm = false;
+    } else if (consume_value(args, i, "--chrome-trace", value)) {
+      opt.chrome_trace_path = value;
+    } else if (arg == "--validate") {
+      opt.validate = true;
+    } else if (arg == "--dot") {
+      opt.emit_dot = true;
+    } else if (arg == "--emit-graph") {
+      opt.emit_graph = true;
+    } else if (arg == "--trace") {
+      opt.emit_trace = true;
+    } else if (arg == "--roofline") {
+      opt.emit_roofline = true;
+    } else {
+      throw CliError("unknown option '" + arg + "' (see --help)");
+    }
+  }
+  if (opt.show_help) return opt;
+  if (opt.model.empty() == opt.graph_file.empty()) {
+    throw CliError("exactly one of --model or --graph is required");
+  }
+  return opt;
+}
+
+std::string usage() {
+  std::ostringstream os;
+  os << "lcmm_compile — layer conscious memory management for FPGA DNN "
+        "accelerators\n\n"
+        "usage: lcmm_compile (--model NAME | --graph FILE.lcmm) [options]\n\n"
+        "inputs:\n"
+        "  --model NAME          built-in model:";
+  for (const std::string& name : models::model_names()) os << " " << name;
+  os << "\n  --graph FILE          load a .lcmm graph file (see io/text_format.hpp)\n"
+        "\ntarget:\n"
+        "  --precision 8|16|32   data precision (default 16)\n"
+        "  --device vu9p|zu9eg|u250  FPGA device (default vu9p)\n"
+        "\ncompilation:\n"
+        "  --design umm|lcmm|both  which designs to compile (default both)\n"
+        "  --allocator dnnk|greedy|exact\n"
+        "  --dse-passes N        DSE refinement passes (default 2)\n"
+        "  --capacity-fraction F fraction of free SRAM handed to DNNK\n"
+        "  --no-feature-reuse --no-prefetch --no-splitting --no-promotion\n"
+        "  --no-fallback         keep the LCMM design even if UMM is faster\n"
+        "\noutput:\n"
+        "  --format text|json|csv  report format (default text)\n"
+        "  --trace               print the tensor residency timeline\n"
+        "  --chrome-trace PATH   write a chrome://tracing timeline JSON\n"
+        "  --validate            run the plan validator; fail on violations\n"
+        "  --roofline            print the per-layer roofline census\n"
+        "  --dot                 print the graph in Graphviz DOT\n"
+        "  --emit-graph          print the graph in the .lcmm text format\n"
+        "  --verbose             compiler pass logging to stderr\n";
+  return os.str();
+}
+
+}  // namespace lcmm::cli

@@ -1,0 +1,55 @@
+// Command-line option parsing for the lcmm_compile tool, kept in the
+// library so it is unit-testable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/lcmm.hpp"
+
+namespace lcmm::cli {
+
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class OutputFormat { kText, kJson, kCsv };
+enum class DesignChoice { kUmm, kLcmm, kBoth };
+
+struct Options {
+  /// Exactly one of model / graph_file is set.
+  std::string model;
+  std::string graph_file;
+
+  hw::Precision precision = hw::Precision::kInt16;
+  std::string device = "vu9p";
+  DesignChoice design = DesignChoice::kBoth;
+  OutputFormat format = OutputFormat::kText;
+
+  core::LcmmOptions lcmm;
+
+  bool emit_dot = false;
+  bool emit_graph = false;
+  bool emit_trace = false;
+  bool emit_roofline = false;
+  bool show_help = false;
+  bool verbose = false;
+  /// When non-empty, write a Chrome trace-event JSON of the last compiled
+  /// design's timeline to this path.
+  std::string chrome_trace_path;
+  /// Run the plan validator on every compiled plan and fail on violations.
+  bool validate = false;
+};
+
+/// Parses argv (argv[0] is skipped). Throws CliError on bad input.
+Options parse_cli(const std::vector<std::string>& args);
+
+/// The --help text.
+std::string usage();
+
+/// Resolves Options::device to a device model. Throws CliError.
+hw::FpgaDevice resolve_device(const std::string& name);
+
+}  // namespace lcmm::cli

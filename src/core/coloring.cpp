@@ -1,0 +1,132 @@
+#include "core/coloring.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace lcmm::core {
+
+namespace {
+
+std::int64_t total_size(const InterferenceGraph& graph,
+                        const std::vector<int>& color_of, int num_colors) {
+  std::vector<std::int64_t> color_max(static_cast<std::size_t>(num_colors), 0);
+  for (std::size_t i = 0; i < color_of.size(); ++i) {
+    auto& m = color_max[static_cast<std::size_t>(color_of[i])];
+    m = std::max(m, graph.entities()[i].bytes);
+  }
+  return std::accumulate(color_max.begin(), color_max.end(), std::int64_t{0});
+}
+
+}  // namespace
+
+ColoringResult color_min_total_size(const InterferenceGraph& graph) {
+  const std::size_t n = graph.size();
+  ColoringResult result;
+  result.color_of.assign(n, -1);
+  if (n == 0) return result;
+
+  // Largest entities first: they define buffer sizes, smaller ones pack in.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return graph.entities()[a].bytes > graph.entities()[b].bytes;
+  });
+
+  std::vector<std::int64_t> color_size;           // current max per color
+  std::vector<std::vector<std::size_t>> members;  // entities per color
+
+  for (std::size_t e : order) {
+    const std::int64_t bytes = graph.entities()[e].bytes;
+    int best_color = -1;
+    std::int64_t best_cost = std::numeric_limits<std::int64_t>::max();
+    std::int64_t best_slack = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t c = 0; c < color_size.size(); ++c) {
+      const bool compatible = std::none_of(
+          members[c].begin(), members[c].end(),
+          [&](std::size_t other) { return graph.interferes(e, other); });
+      if (!compatible) continue;
+      const std::int64_t growth = std::max<std::int64_t>(0, bytes - color_size[c]);
+      const std::int64_t slack = std::max<std::int64_t>(0, color_size[c] - bytes);
+      // Prefer zero growth with the tightest fit; otherwise minimal growth.
+      if (growth < best_cost || (growth == best_cost && slack < best_slack)) {
+        best_cost = growth;
+        best_slack = slack;
+        best_color = static_cast<int>(c);
+      }
+    }
+    if (best_color < 0 || best_cost >= bytes) {
+      // A fresh color is never worse than growing an existing one by the
+      // full entity size.
+      best_color = static_cast<int>(color_size.size());
+      color_size.push_back(0);
+      members.emplace_back();
+    }
+    result.color_of[e] = best_color;
+    members[static_cast<std::size_t>(best_color)].push_back(e);
+    auto& cs = color_size[static_cast<std::size_t>(best_color)];
+    cs = std::max(cs, bytes);
+  }
+  result.num_colors = static_cast<int>(color_size.size());
+  result.total_bytes = total_size(graph, result.color_of, result.num_colors);
+  return result;
+}
+
+ColoringResult color_optimal_small(const InterferenceGraph& graph,
+                                   std::size_t max_entities) {
+  const std::size_t n = graph.size();
+  if (n > max_entities) {
+    throw std::invalid_argument("color_optimal_small: graph too large (" +
+                                std::to_string(n) + " entities)");
+  }
+  ColoringResult best;
+  if (n == 0) return best;
+
+  std::vector<int> assignment(n, -1);
+  std::int64_t best_total = std::numeric_limits<std::int64_t>::max();
+
+  // Restricted-growth enumeration of set partitions with interference pruning.
+  auto recurse = [&](auto&& self, std::size_t i, int used_colors) -> void {
+    if (i == n) {
+      const std::int64_t total = total_size(graph, assignment, used_colors);
+      if (total < best_total) {
+        best_total = total;
+        best.color_of = assignment;
+        best.num_colors = used_colors;
+        best.total_bytes = total;
+      }
+      return;
+    }
+    for (int c = 0; c <= used_colors && c < static_cast<int>(n); ++c) {
+      bool ok = true;
+      for (std::size_t j = 0; j < i && ok; ++j) {
+        if (assignment[j] == c && graph.interferes(i, j)) ok = false;
+      }
+      if (!ok) continue;
+      assignment[i] = c;
+      self(self, i + 1, std::max(used_colors, c + 1));
+      assignment[i] = -1;
+    }
+  };
+  recurse(recurse, 0, 0);
+  return best;
+}
+
+bool coloring_is_valid(const InterferenceGraph& graph,
+                       const ColoringResult& result) {
+  if (result.color_of.size() != graph.size()) return false;
+  for (std::size_t a = 0; a < graph.size(); ++a) {
+    if (result.color_of[a] < 0 || result.color_of[a] >= result.num_colors) {
+      return false;
+    }
+    for (std::size_t b = a + 1; b < graph.size(); ++b) {
+      if (result.color_of[a] == result.color_of[b] && graph.interferes(a, b)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace lcmm::core

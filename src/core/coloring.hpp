@@ -1,0 +1,38 @@
+// Buffer-merging graph coloring (paper §3.1).
+//
+// Unlike register allocation, the objective is not the number of colors but
+// the TOTAL SIZE of the resulting buffers: a color's size is the largest
+// member tensor, so packing a small tensor into a large buffer is free.
+// color_min_total_size() is a best-fit-decreasing heuristic;
+// color_optimal_small() enumerates set partitions for test oracles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/interference.hpp"
+
+namespace lcmm::core {
+
+struct ColoringResult {
+  /// Color (virtual-buffer index) per entity, dense in [0, num_colors).
+  std::vector<int> color_of;
+  int num_colors = 0;
+  /// Sum over colors of the max member size.
+  std::int64_t total_bytes = 0;
+};
+
+/// Greedy best-fit-decreasing coloring: entities are placed largest-first
+/// into the compatible color whose current size fits them best (free slots
+/// preferred, then minimal growth).
+ColoringResult color_min_total_size(const InterferenceGraph& graph);
+
+/// Exhaustive minimum-total-size coloring via set-partition enumeration.
+/// Only for small graphs (throws std::invalid_argument above `max_entities`).
+ColoringResult color_optimal_small(const InterferenceGraph& graph,
+                                   std::size_t max_entities = 12);
+
+/// True iff no two entities sharing a color interfere.
+bool coloring_is_valid(const InterferenceGraph& graph, const ColoringResult& result);
+
+}  // namespace lcmm::core

@@ -1,0 +1,219 @@
+#include "core/dnnk.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <stdexcept>
+
+namespace lcmm::core {
+
+namespace {
+
+/// Members of a buffer ordered by descending stream latency, so that the
+/// incremental composition of marginal gains is deterministic and matches
+/// the paper's largest-term-first accounting.
+std::vector<std::size_t> ordered_members(const InterferenceGraph& graph,
+                                         const VirtualBuffer& buffer) {
+  std::vector<std::size_t> members = buffer.members;
+  std::stable_sort(members.begin(), members.end(), [&](std::size_t a, std::size_t b) {
+    return graph.entities()[a].stream_latency_s >
+           graph.entities()[b].stream_latency_s;
+  });
+  return members;
+}
+
+}  // namespace
+
+std::int64_t quantized_units(std::int64_t bytes, const AllocatorOptions& options) {
+  if (options.granularity_bytes <= 0) {
+    throw std::invalid_argument("AllocatorOptions: granularity <= 0");
+  }
+  return (bytes + options.granularity_bytes - 1) / options.granularity_bytes;
+}
+
+AllocatorResult evaluate_selection(const InterferenceGraph& graph,
+                                   const std::vector<VirtualBuffer>& buffers,
+                                   const LatencyTables& tables,
+                                   const std::vector<bool>& selection,
+                                   const AllocatorOptions& options) {
+  if (selection.size() != buffers.size()) {
+    throw std::invalid_argument("evaluate_selection: selection size mismatch");
+  }
+  AllocatorResult result;
+  result.buffer_on_chip = selection;
+  result.state = OnChipState(tables.model().graph().num_layers());
+  for (std::size_t b = 0; b < buffers.size(); ++b) {
+    if (!selection[b]) continue;
+    result.bytes_used += quantized_units(buffers[b].bytes, options) *
+                         options.granularity_bytes;
+    for (std::size_t e : buffers[b].members) {
+      result.state.set(graph.entities()[e].key, true);
+    }
+  }
+  const OnChipState umm(tables.model().graph().num_layers());
+  result.gain_s = tables.total_latency(umm) - tables.total_latency(result.state);
+  return result;
+}
+
+AllocatorResult dnnk_allocate(const InterferenceGraph& graph,
+                              const std::vector<VirtualBuffer>& buffers,
+                              const LatencyTables& tables,
+                              std::int64_t capacity_bytes,
+                              const AllocatorOptions& options) {
+  const std::size_t n = buffers.size();
+  const std::int64_t w_cap = capacity_bytes / options.granularity_bytes;
+  if (w_cap < 0) throw std::invalid_argument("dnnk_allocate: negative capacity");
+  const std::size_t width = static_cast<std::size_t>(w_cap) + 1;
+
+  // Lookup: (layer, source) -> owning buffer index, for the compensation
+  // reads from pbuf_table.
+  const std::size_t num_layers = tables.model().graph().num_layers();
+  std::vector<std::array<int, kNumSources>> buffer_of(num_layers,
+                                                      {-1, -1, -1, -1});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t e : buffers[b].members) {
+      const TensorKey key = graph.entities()[e].key;
+      buffer_of[static_cast<std::size_t>(key.layer)]
+               [static_cast<int>(key.source)] = static_cast<int>(b);
+    }
+  }
+
+  // pbuf_table(i, j): was buffer i taken at capacity j during its DP row.
+  std::vector<std::vector<std::uint8_t>> pbuf_table(n,
+                                                    std::vector<std::uint8_t>(width, 0));
+  std::vector<double> prev(width, 0.0);
+  std::vector<double> curr(width, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t size_units = quantized_units(buffers[i].bytes, options);
+    const std::vector<std::size_t> members = ordered_members(graph, buffers[i]);
+    for (std::size_t j = 0; j < width; ++j) {
+      if (static_cast<std::int64_t>(j) >= size_units) {
+        const double l0 = prev[j];
+        // Buffer value with pivot compensation: compose marginal gains of
+        // the member tensors on top of the approximate allocation state of
+        // their layers, read from pbuf_table at this capacity (Alg. 1,
+        // lines 9-12 generalized through Eq. 1 marginal gains).
+        double l1 = prev[j - static_cast<std::size_t>(size_units)];
+        // Per-layer masks are composed lazily; most buffers touch few layers.
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          const TensorKey key = graph.entities()[members[m]].key;
+          std::uint8_t mask = 0;
+          for (int s = 0; s < kNumSources; ++s) {
+            const int owner = buffer_of[static_cast<std::size_t>(key.layer)][s];
+            if (owner < 0 || static_cast<std::size_t>(owner) >= i) continue;
+            if (pbuf_table[static_cast<std::size_t>(owner)][j]) {
+              mask = static_cast<std::uint8_t>(mask | (1u << s));
+            }
+          }
+          // Earlier members of this same buffer that share the layer.
+          for (std::size_t q = 0; q < m; ++q) {
+            const TensorKey other = graph.entities()[members[q]].key;
+            if (other.layer == key.layer) {
+              mask = static_cast<std::uint8_t>(
+                  mask | (1u << static_cast<int>(other.source)));
+            }
+          }
+          l1 += tables.marginal_gain(key.layer, key.source, mask);
+        }
+        if (l0 > l1) {
+          curr[j] = l0;
+          pbuf_table[i][j] = 0;
+        } else {
+          curr[j] = l1;
+          pbuf_table[i][j] = 1;
+        }
+      } else {
+        curr[j] = prev[j];
+        pbuf_table[i][j] = 0;
+      }
+    }
+    std::swap(prev, curr);
+  }
+
+  // Backtrace over pbuf_table.
+  std::vector<bool> selection(n, false);
+  std::int64_t j = w_cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (pbuf_table[i][static_cast<std::size_t>(j)]) {
+      selection[i] = true;
+      j -= quantized_units(buffers[i].bytes, options);
+    }
+  }
+  return evaluate_selection(graph, buffers, tables, selection, options);
+}
+
+AllocatorResult greedy_allocate(const InterferenceGraph& graph,
+                                const std::vector<VirtualBuffer>& buffers,
+                                const LatencyTables& tables,
+                                std::int64_t capacity_bytes,
+                                const AllocatorOptions& options) {
+  const std::size_t n = buffers.size();
+  std::vector<double> value(n, 0.0);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t e : buffers[b].members) {
+      const TensorKey key = graph.entities()[e].key;
+      value[b] += tables.standalone_reduction(key.layer, key.source);
+    }
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = value[a] / static_cast<double>(
+                                     std::max<std::int64_t>(1, buffers[a].bytes));
+    const double db = value[b] / static_cast<double>(
+                                     std::max<std::int64_t>(1, buffers[b].bytes));
+    return da > db;
+  });
+  std::vector<bool> selection(n, false);
+  std::int64_t used = 0;
+  for (std::size_t b : order) {
+    const std::int64_t sz =
+        quantized_units(buffers[b].bytes, options) * options.granularity_bytes;
+    if (used + sz <= capacity_bytes && value[b] > 0.0) {
+      selection[b] = true;
+      used += sz;
+    }
+  }
+  return evaluate_selection(graph, buffers, tables, selection, options);
+}
+
+AllocatorResult exact_allocate(const InterferenceGraph& graph,
+                               const std::vector<VirtualBuffer>& buffers,
+                               const LatencyTables& tables,
+                               std::int64_t capacity_bytes,
+                               const AllocatorOptions& options,
+                               std::size_t max_buffers) {
+  if (max_buffers > 24) {
+    throw std::invalid_argument("exact_allocate: max_buffers cap is 24");
+  }
+  const std::size_t n = buffers.size();
+  if (n > max_buffers) {
+    throw std::invalid_argument("exact_allocate: too many buffers (" +
+                                std::to_string(n) + ")");
+  }
+  std::vector<bool> selection(n, false);
+  AllocatorResult best =
+      evaluate_selection(graph, buffers, tables, selection, options);
+
+  auto recurse = [&](auto&& self, std::size_t i, std::int64_t used) -> void {
+    if (i == n) {
+      AllocatorResult candidate =
+          evaluate_selection(graph, buffers, tables, selection, options);
+      if (candidate.gain_s > best.gain_s) best = std::move(candidate);
+      return;
+    }
+    self(self, i + 1, used);  // skip buffer i
+    const std::int64_t sz =
+        quantized_units(buffers[i].bytes, options) * options.granularity_bytes;
+    if (used + sz <= capacity_bytes) {
+      selection[i] = true;
+      self(self, i + 1, used + sz);
+      selection[i] = false;
+    }
+  };
+  recurse(recurse, 0, 0);
+  return best;
+}
+
+}  // namespace lcmm::core

@@ -1,0 +1,74 @@
+// DNNK: the DNN-knapsack on-chip memory allocator (paper §3.3, Alg. 1).
+//
+// Items are virtual buffers; the capacity is the on-chip memory left after
+// the tile buffers; the value of a buffer is the latency reduction of its
+// member tensors with pivot compensation — a tensor's gain only counts up
+// to the next-larger transfer term of its node that is still off-chip.
+// The DP follows the paper: rows are buffers, columns are capacities, the
+// compensation term is read from the partial allocation table pbuf_table,
+// and the final allocation is recovered by a backtrace.
+//
+// Two reference allocators share the result type: a value-density greedy
+// (ablation baseline) and an exhaustive search (test oracle).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/latency_tables.hpp"
+#include "core/virtual_buffer.hpp"
+
+namespace lcmm::core {
+
+struct AllocatorOptions {
+  /// DP capacity granularity. Defaults to one URAM block, matching the
+  /// paper's block-quantized buffer sizes (Tab. 2).
+  std::int64_t granularity_bytes = 288 * 1024 / 8;
+};
+
+struct AllocatorResult {
+  /// Per virtual buffer: allocated physical on-chip memory (y_k).
+  std::vector<bool> buffer_on_chip;
+  /// Per (layer, source) tensor state implied by the buffer decisions.
+  OnChipState state{0};
+  /// Sum of allocated buffer sizes, quantized to the DP granularity.
+  std::int64_t bytes_used = 0;
+  /// TRUE latency reduction vs UMM under the final state (always evaluated
+  /// through Eq. 1, independent of the DP's internal approximations).
+  double gain_s = 0.0;
+};
+
+/// Alg. 1. `capacity_bytes` is R_sram.
+AllocatorResult dnnk_allocate(const InterferenceGraph& graph,
+                              const std::vector<VirtualBuffer>& buffers,
+                              const LatencyTables& tables,
+                              std::int64_t capacity_bytes,
+                              const AllocatorOptions& options = {});
+
+/// Value-density greedy (gain/size with standalone gains), for ablation.
+AllocatorResult greedy_allocate(const InterferenceGraph& graph,
+                                const std::vector<VirtualBuffer>& buffers,
+                                const LatencyTables& tables,
+                                std::int64_t capacity_bytes,
+                                const AllocatorOptions& options = {});
+
+/// Exhaustive optimum over buffer subsets (test oracle; throws
+/// std::invalid_argument when there are more than `max_buffers` buffers).
+AllocatorResult exact_allocate(const InterferenceGraph& graph,
+                               const std::vector<VirtualBuffer>& buffers,
+                               const LatencyTables& tables,
+                               std::int64_t capacity_bytes,
+                               const AllocatorOptions& options = {},
+                               std::size_t max_buffers = 16);
+
+/// Evaluates the true gain and tensor state of a given buffer selection.
+AllocatorResult evaluate_selection(const InterferenceGraph& graph,
+                                   const std::vector<VirtualBuffer>& buffers,
+                                   const LatencyTables& tables,
+                                   const std::vector<bool>& selection,
+                                   const AllocatorOptions& options);
+
+/// Quantized size of a buffer in DP units.
+std::int64_t quantized_units(std::int64_t bytes, const AllocatorOptions& options);
+
+}  // namespace lcmm::core

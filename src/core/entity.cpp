@@ -1,0 +1,23 @@
+#include "core/entity.hpp"
+
+#include <bit>
+
+namespace lcmm::core {
+
+std::string to_string(TensorSource s) {
+  switch (s) {
+    case TensorSource::kInput: return "if";
+    case TensorSource::kResidual: return "res";
+    case TensorSource::kWeight: return "wt";
+    case TensorSource::kOutput: return "of";
+  }
+  return "?";
+}
+
+int OnChipState::count() const {
+  int n = 0;
+  for (std::uint8_t m : mask_) n += std::popcount(m);
+  return n;
+}
+
+}  // namespace lcmm::core

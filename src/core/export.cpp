@@ -1,0 +1,87 @@
+#include "core/export.hpp"
+
+#include <sstream>
+
+namespace lcmm::core {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+std::string interference_to_dot(const InterferenceGraph& graph) {
+  std::ostringstream os;
+  os << "graph interference {\n  node [shape=ellipse, fontname=\"monospace\"];\n";
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const TensorEntity& e = graph.entities()[i];
+    os << "  t" << i << " [label=\"" << escape(e.name) << "\\n"
+       << e.bytes / 1024 << " KiB [" << e.def_step << "," << e.last_use_step
+       << "]\"];\n";
+  }
+  for (std::size_t a = 0; a < graph.size(); ++a) {
+    for (std::size_t b = a + 1; b < graph.size(); ++b) {
+      if (!graph.interferes(a, b)) continue;
+      os << "  t" << a << " -- t" << b;
+      if (graph.is_false_edge(a, b)) {
+        os << " [style=dashed, color=red, label=\"split\"]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string pdg_to_dot(const graph::ComputationGraph& graph,
+                       const PrefetchResult& prefetch) {
+  std::ostringstream os;
+  os << "digraph pdg {\n  rankdir=LR;\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n";
+  // Execution order as a spine.
+  const auto& order = graph.topo_order();
+  for (std::size_t s = 0; s < order.size(); ++s) {
+    os << "  n" << s << " [label=\"" << escape(graph.layer(order[s]).name)
+       << "\"];\n";
+    if (s > 0) os << "  n" << s - 1 << " -> n" << s << " [color=gray];\n";
+  }
+  for (const PrefetchEdge& e : prefetch.edges()) {
+    const int target = graph.step_of(e.target);
+    const int start = std::max(0, e.start_step);
+    os << "  n" << start << " -> n" << target
+       << " [constraint=false, label=\"prefetch "
+       << escape(graph.layer(e.target).name) << ".wt\\n"
+       << static_cast<long long>(e.load_seconds * 1e6) << " us\""
+       << (e.fully_hidden() ? ", color=blue"
+                            : ", color=red, penwidth=2") << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string plan_to_dot(const AllocationPlan& plan) {
+  std::ostringstream os;
+  os << "digraph plan {\n  node [shape=record, fontname=\"monospace\"];\n";
+  for (std::size_t b = 0; b < plan.buffers.size(); ++b) {
+    const VirtualBuffer& buf = plan.buffers[b];
+    os << "  b" << b << " [label=\"{vbuf" << buf.id << " | "
+       << buf.bytes / 1024 << " KiB";
+    for (std::size_t e : buf.members) {
+      os << " | " << escape(plan.entities[e].name);
+    }
+    os << "}\""
+       << (plan.buffer_on_chip[b]
+               ? ", style=filled, fillcolor=lightblue"
+               : ", style=filled, fillcolor=lightgray")
+       << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace lcmm::core

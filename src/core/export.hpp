@@ -1,0 +1,29 @@
+// Graphviz DOT exports of LCMM's internal structures, for debugging and
+// for the papers-figure walk-throughs (Fig. 5(a): interference graph,
+// Fig. 6: prefetching dependence graph).
+#pragma once
+
+#include <string>
+
+#include "core/interference.hpp"
+#include "core/lcmm.hpp"
+#include "core/prefetch.hpp"
+
+namespace lcmm::core {
+
+/// Interference graph: tensor entities as nodes (labelled with size and
+/// lifespan), real interference as solid edges, splitting-injected false
+/// edges as dashed red edges.
+std::string interference_to_dot(const InterferenceGraph& graph);
+
+/// Prefetching dependence graph over the execution order: solid arrows
+/// from the prefetch start node to the consuming node, annotated with the
+/// load time; unhidden prefetches are highlighted.
+std::string pdg_to_dot(const graph::ComputationGraph& graph,
+                       const PrefetchResult& prefetch);
+
+/// Allocation plan summary: virtual buffers as record nodes listing member
+/// tensors, colored by on-chip/spilled status.
+std::string plan_to_dot(const AllocationPlan& plan);
+
+}  // namespace lcmm::core

@@ -1,0 +1,60 @@
+#include "core/interference.hpp"
+
+#include <stdexcept>
+
+namespace lcmm::core {
+
+InterferenceGraph::InterferenceGraph(std::vector<TensorEntity> entities)
+    : entities_(std::move(entities)) {
+  const std::size_t n = entities_.size();
+  adj_.assign(n * (n + 1) / 2, 0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (entities_[a].overlaps(entities_[b])) adj_[index(a, b)] = 1;
+    }
+  }
+}
+
+std::size_t InterferenceGraph::index(std::size_t a, std::size_t b) const {
+  if (a == b || a >= entities_.size() || b >= entities_.size()) {
+    throw std::out_of_range("InterferenceGraph: bad pair");
+  }
+  if (a > b) std::swap(a, b);
+  // Upper triangle, row-major: row a spans (n-1-a) cells.
+  const std::size_t n = entities_.size();
+  return a * n - a * (a + 1) / 2 + (b - a - 1);
+}
+
+bool InterferenceGraph::interferes(std::size_t a, std::size_t b) const {
+  if (a == b) return true;
+  return adj_[index(a, b)] != 0;
+}
+
+void InterferenceGraph::add_false_edge(std::size_t a, std::size_t b) {
+  std::uint8_t& cell = adj_[index(a, b)];
+  if (cell == 0) {
+    cell = 2;
+    ++false_edges_;
+  }
+}
+
+bool InterferenceGraph::is_false_edge(std::size_t a, std::size_t b) const {
+  if (a == b) return false;
+  return adj_[index(a, b)] == 2;
+}
+
+std::size_t InterferenceGraph::degree(std::size_t a) const {
+  std::size_t d = 0;
+  for (std::size_t b = 0; b < entities_.size(); ++b) {
+    if (b != a && interferes(a, b)) ++d;
+  }
+  return d;
+}
+
+std::size_t InterferenceGraph::num_edges() const {
+  std::size_t e = 0;
+  for (std::uint8_t cell : adj_) e += cell != 0;
+  return e;
+}
+
+}  // namespace lcmm::core

@@ -1,0 +1,43 @@
+// Interference graph over tensor entities (paper Fig. 5(a)).
+//
+// Two entities interfere when their liveness intervals share an execution
+// step — they can then never occupy the same buffer. The buffer-splitting
+// pass (§3.4) additionally inserts *false* interference edges to force two
+// compatible tensors apart when sharing would cause misspilling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/entity.hpp"
+
+namespace lcmm::core {
+
+class InterferenceGraph {
+ public:
+  /// Builds interval-overlap interference for `entities`.
+  explicit InterferenceGraph(std::vector<TensorEntity> entities);
+
+  const std::vector<TensorEntity>& entities() const { return entities_; }
+  std::size_t size() const { return entities_.size(); }
+
+  bool interferes(std::size_t a, std::size_t b) const;
+  /// Adds a false lifespan-overlap edge (buffer splitting). Idempotent.
+  void add_false_edge(std::size_t a, std::size_t b);
+  bool is_false_edge(std::size_t a, std::size_t b) const;
+  std::size_t num_false_edges() const { return false_edges_; }
+
+  /// Degree counting both real and false edges.
+  std::size_t degree(std::size_t a) const;
+  std::size_t num_edges() const;
+
+ private:
+  std::size_t index(std::size_t a, std::size_t b) const;
+
+  std::vector<TensorEntity> entities_;
+  /// Dense upper-triangular adjacency: 0 none, 1 real, 2 false.
+  std::vector<std::uint8_t> adj_;
+  std::size_t false_edges_ = 0;
+};
+
+}  // namespace lcmm::core

@@ -1,0 +1,300 @@
+#include "core/lcmm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace lcmm::core {
+
+namespace {
+
+AllocatorResult run_allocator(AllocatorKind kind, const InterferenceGraph& ig,
+                              const std::vector<VirtualBuffer>& buffers,
+                              const LatencyTables& tables,
+                              std::int64_t capacity,
+                              const AllocatorOptions& options) {
+  switch (kind) {
+    case AllocatorKind::kDnnk:
+      return dnnk_allocate(ig, buffers, tables, capacity, options);
+    case AllocatorKind::kGreedy:
+      return greedy_allocate(ig, buffers, tables, capacity, options);
+    case AllocatorKind::kExact:
+      return exact_allocate(ig, buffers, tables, capacity, options);
+  }
+  throw std::logic_error("run_allocator: bad kind");
+}
+
+/// Grants consumers whose entire value sits on chip a free on-chip read:
+/// if every producer slice of a value has its output entity on chip (the
+/// buffers persist to the value's last consumer by construction), the data
+/// never needs to be re-fetched from DRAM.
+void propagate_output_residency(const graph::ComputationGraph& graph,
+                                OnChipState& state) {
+  for (graph::ValueId vid : graph.live_values()) {
+    const graph::Value& v = graph.value(vid);
+    if (v.producers.empty()) continue;
+    const bool all_on = std::all_of(
+        v.producers.begin(), v.producers.end(), [&](graph::LayerId p) {
+          return state.is_on({p, TensorSource::kOutput});
+        });
+    if (!all_on) continue;
+    for (graph::LayerId c : v.consumers) {
+      const graph::Layer& consumer = graph.layer(c);
+      if (consumer.input == vid) state.set({c, TensorSource::kInput}, true);
+      if (consumer.residual == vid) state.set({c, TensorSource::kResidual}, true);
+    }
+  }
+}
+
+}  // namespace
+
+bool AllocationPlan::weight_is_resident(graph::LayerId layer) const {
+  return std::find(resident_weights.begin(), resident_weights.end(), layer) !=
+         resident_weights.end();
+}
+
+double AllocationPlan::sram_utilization() const {
+  const double used = static_cast<double>(bram_used) * mem::SramPools::kBram36Bytes +
+                      static_cast<double>(uram_used) * mem::SramPools::kUramBytes;
+  const double total =
+      static_cast<double>(bram_total) * mem::SramPools::kBram36Bytes +
+      static_cast<double>(uram_total) * mem::SramPools::kUramBytes;
+  return total > 0 ? used / total : 0.0;
+}
+
+LcmmCompiler::LcmmCompiler(hw::FpgaDevice device, hw::Precision precision,
+                           LcmmOptions options)
+    : device_(std::move(device)), precision_(precision),
+      options_(std::move(options)) {
+  if (options_.sram_capacity_fraction <= 0 || options_.sram_capacity_fraction > 1) {
+    throw std::invalid_argument("LcmmOptions: bad sram_capacity_fraction");
+  }
+  if (options_.dse_passes < 1 || options_.dse_passes > 4) {
+    throw std::invalid_argument("LcmmOptions: dse_passes must be in [1,4]");
+  }
+}
+
+void LcmmCompiler::place_physical(AllocationPlan& plan,
+                                  const graph::ComputationGraph& graph) const {
+  mem::SramPools pools(device_.bram36_total, device_.uram_total);
+  plan.tile_buffers =
+      hw::tile_buffer_bytes(graph, plan.design.array, plan.design.tile,
+                            precision_);
+  // Tile buffers live in BRAM (they need banked narrow ports).
+  for (std::int64_t bytes :
+       {plan.tile_buffers.input, plan.tile_buffers.weight, plan.tile_buffers.output}) {
+    if (bytes <= 0) continue;
+    if (!pools.allocate(bytes, mem::SramPool::kBram)) {
+      throw std::runtime_error("tile buffers do not fit on the device");
+    }
+  }
+  // Tensor buffers prefer URAM; largest first to reduce fragmentation
+  // surprises at the block granularity.
+  std::vector<std::size_t> order;
+  for (std::size_t b = 0; b < plan.buffers.size(); ++b) {
+    if (plan.buffer_on_chip[b]) order.push_back(b);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return plan.buffers[a].bytes > plan.buffers[b].bytes;
+  });
+  for (std::size_t b : order) {
+    auto alloc = pools.allocate(plan.buffers[b].bytes, mem::SramPool::kUram);
+    if (!alloc) {
+      // Quantization edge: demote the buffer and its tensors.
+      LCMM_WARN() << "demoting buffer " << plan.buffers[b].id
+                  << " (placement failed)";
+      plan.buffer_on_chip[b] = false;
+      for (std::size_t e : plan.buffers[b].members) {
+        plan.state.set(plan.entities[e].key, false);
+      }
+      continue;
+    }
+    plan.physical.push_back(PhysicalBuffer{plan.buffers[b], *alloc});
+    plan.tensor_buffer_bytes += plan.buffers[b].bytes;
+  }
+  // Residency promotion: weights in single-member buffers are already
+  // persistent; for window-shared weights, buy exclusive buffers with the
+  // leftover URAM so they stop paying a per-inference prefetch.
+  if (options_.residency_promotion) {
+    std::vector<std::pair<std::int64_t, graph::LayerId>> shared_weights;
+    for (std::size_t b = 0; b < plan.buffers.size(); ++b) {
+      if (!plan.buffer_on_chip[b]) continue;
+      const bool exclusive = plan.buffers[b].members.size() == 1;
+      for (std::size_t e : plan.buffers[b].members) {
+        const TensorEntity& entity = plan.entities[e];
+        if (entity.key.source != TensorSource::kWeight) continue;
+        if (exclusive) {
+          plan.resident_weights.push_back(entity.key.layer);
+        } else {
+          shared_weights.emplace_back(entity.bytes, entity.key.layer);
+        }
+      }
+    }
+    std::stable_sort(shared_weights.begin(), shared_weights.end(),
+                     [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [bytes, layer] : shared_weights) {
+      // Promotion is URAM-only and keeps the configured routing margin.
+      const int need = mem::SramPools::blocks_needed(bytes, mem::SramPool::kUram);
+      const int margin = static_cast<int>(
+          (1.0 - options_.sram_capacity_fraction) * pools.uram_total());
+      if (pools.uram_used() + need > pools.uram_total() - margin) continue;
+      auto alloc = pools.allocate(bytes, mem::SramPool::kUram);
+      if (!alloc) continue;
+      plan.physical.push_back(
+          PhysicalBuffer{VirtualBuffer{-1, bytes, {}, 0, 0}, *alloc});
+      plan.tensor_buffer_bytes += bytes;
+      plan.resident_weights.push_back(layer);
+    }
+  }
+  plan.bram_used = pools.bram_used();
+  plan.uram_used = pools.uram_used();
+  plan.bram_total = pools.bram_total();
+  plan.uram_total = pools.uram_total();
+}
+
+AllocationPlan LcmmCompiler::allocate_under_design(
+    const graph::ComputationGraph& graph,
+    const hw::AcceleratorDesign& design) const {
+  hw::PerfModel model(graph, design);
+  LatencyTables tables(model);
+
+  AllocationPlan plan;
+  plan.design = design;
+  plan.umm_latency_s = model.umm_total_latency();
+  for (const graph::Layer& layer : graph.layers()) {
+    if (layer.is_conv() && model.timing(layer.id).memory_bound()) {
+      ++plan.num_memory_bound_conv;
+    }
+  }
+
+  // Passes 2+3: entities.
+  std::vector<TensorEntity> entities;
+  if (options_.feature_reuse) {
+    entities = build_feature_entities(model, options_.liveness);
+  }
+  if (options_.weight_prefetch) {
+    plan.prefetch = build_prefetch_schedule(model, options_.liveness);
+    std::vector<TensorEntity> weights =
+        build_weight_entities(model, plan.prefetch);
+    entities.insert(entities.end(), std::make_move_iterator(weights.begin()),
+                    std::make_move_iterator(weights.end()));
+  }
+
+  // Capacity: whatever the tile buffers leave, with a routing margin.
+  const hw::TileBufferBytes tiles =
+      hw::tile_buffer_bytes(graph, design.array, design.tile, precision_);
+  const std::int64_t free_bytes = device_.sram_bytes_total() - tiles.total();
+  const std::int64_t capacity = static_cast<std::int64_t>(
+      static_cast<double>(std::max<std::int64_t>(0, free_bytes)) *
+      options_.sram_capacity_fraction);
+
+  InterferenceGraph ig(std::move(entities));
+  AllocatorResult allocation;
+  std::vector<VirtualBuffer> buffers;
+  if (options_.buffer_splitting && options_.allocator == AllocatorKind::kDnnk) {
+    SplitOutcome outcome = split_and_reallocate(ig, tables, capacity,
+                                                options_.alloc, options_.split);
+    buffers = std::move(outcome.buffers);
+    allocation = std::move(outcome.allocation);
+  } else {
+    buffers = build_virtual_buffers(ig, color_min_total_size(ig));
+    allocation = run_allocator(options_.allocator, ig, buffers, tables,
+                               capacity, options_.alloc);
+  }
+
+  plan.entities = ig.entities();
+  plan.buffers = std::move(buffers);
+  plan.buffer_on_chip = std::move(allocation.buffer_on_chip);
+  plan.state = std::move(allocation.state);
+
+  place_physical(plan, graph);
+  propagate_output_residency(graph, plan.state);
+  plan.est_latency_s = tables.total_latency(plan.state);
+
+  for (const graph::Layer& layer : graph.layers()) {
+    if (layer.is_conv() && model.timing(layer.id).memory_bound() &&
+        plan.state.layer_mask(layer.id) != 0) {
+      ++plan.num_benefiting_conv;
+    }
+  }
+  return plan;
+}
+
+AllocationPlan LcmmCompiler::compile_with_design(
+    const graph::ComputationGraph& graph,
+    const hw::AcceleratorDesign& design) const {
+  return allocate_under_design(graph, design);
+}
+
+AllocationPlan LcmmCompiler::compile(const graph::ComputationGraph& graph) const {
+  hw::DseOptions dse_options = options_.dse;
+  dse_options.heavy_uram_use = true;  // LCMM designs lean on URAM
+  const hw::Dse dse(device_, precision_, dse_options);
+
+  // Pass 1: best design assuming uniform management.
+  hw::DseResult seed = dse.explore(graph);
+  AllocationPlan plan = allocate_under_design(graph, seed.design);
+
+  // Pass 2+: re-optimize the design under the allocation's on-chip state;
+  // keep whichever (design, allocation) pair estimates fastest.
+  for (int pass = 1; pass < options_.dse_passes; ++pass) {
+    const OnChipState& state = plan.state;
+    const auto objective = [&](const hw::AcceleratorDesign& candidate) {
+      hw::PerfModel model(graph, candidate);
+      LatencyTables tables(model);
+      return tables.total_latency(state);
+    };
+    hw::DseResult refined = dse.explore(graph, objective);
+    if (refined.design.tile == plan.design.tile &&
+        refined.design.array == plan.design.array) {
+      break;  // converged
+    }
+    AllocationPlan refined_plan = allocate_under_design(graph, refined.design);
+    if (refined_plan.est_latency_s < plan.est_latency_s) {
+      plan = std::move(refined_plan);
+    } else {
+      break;
+    }
+  }
+  // No-benefit fallback: LCMM designs pay a clock penalty for heavy URAM
+  // use. If the allocation gains do not cover it (compute-bound network),
+  // ship the uniform design unchanged — a real toolflow would too.
+  AllocationPlan baseline = compile_umm(graph);
+  if (options_.allow_fallback_to_umm &&
+      baseline.est_latency_s < plan.est_latency_s) {
+    LCMM_INFO() << "LCMM(" << graph.name()
+                << "): allocation gains below the URAM clock penalty; "
+                   "keeping the uniform design";
+    baseline.is_umm = false;
+    return baseline;
+  }
+  LCMM_INFO() << "LCMM(" << graph.name() << "): " << plan.umm_latency_s * 1e3
+              << " ms (UMM est) -> " << plan.est_latency_s * 1e3
+              << " ms, POL " << plan.pol() * 100 << "%";
+  return plan;
+}
+
+AllocationPlan LcmmCompiler::compile_umm(const graph::ComputationGraph& graph) const {
+  hw::DseOptions dse_options = options_.dse;
+  dse_options.heavy_uram_use = false;
+  const hw::Dse dse(device_, precision_, dse_options);
+  const hw::DseResult seed = dse.explore(graph);
+
+  hw::PerfModel model(graph, seed.design);
+  AllocationPlan plan;
+  plan.is_umm = true;
+  plan.design = seed.design;
+  plan.state = OnChipState(graph.num_layers());
+  plan.umm_latency_s = model.umm_total_latency();
+  plan.est_latency_s = plan.umm_latency_s;
+  for (const graph::Layer& layer : graph.layers()) {
+    if (layer.is_conv() && model.timing(layer.id).memory_bound()) {
+      ++plan.num_memory_bound_conv;
+    }
+  }
+  place_physical(plan, graph);
+  return plan;
+}
+
+}  // namespace lcmm::core

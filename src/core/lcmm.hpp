@@ -1,0 +1,135 @@
+// The Layer Conscious Memory Management driver (paper Fig. 4).
+//
+// Pipeline per compile():
+//   1. DSE picks the accelerator design (PE array + uniform tiles).
+//   2. Feature buffer reuse:   liveness -> interference -> coloring (§3.1).
+//   3. Weight buffer prefetch: PDG backtrace -> weight entities     (§3.2).
+//   4. DNNK knapsack allocation over the virtual buffers            (§3.3).
+//   5. Buffer splitting when shared buffers misspill                (§3.4).
+//   6. A second DSE pass re-optimizes tiles under the allocation —
+//      with the bandwidth bottleneck gone, smaller tiles win back the
+//      compute padding waste (§4.1's "reduction of actual operations").
+//   7. Physical placement into BRAM/URAM pools.
+//
+// compile_umm() produces the uniform-memory-management baseline on the
+// same machinery (empty allocation), so every comparison is apples to
+// apples.
+#pragma once
+
+#include "core/prefetch.hpp"
+#include "core/splitting.hpp"
+#include "hw/dse.hpp"
+#include "mem/sram.hpp"
+
+namespace lcmm::core {
+
+enum class AllocatorKind : std::uint8_t { kDnnk, kGreedy, kExact };
+
+struct LcmmOptions {
+  bool feature_reuse = true;      // §3.1 pass (off for the Fig. 8(b) ablation)
+  bool weight_prefetch = true;    // §3.2 pass (off for the Fig. 8(a) ablation)
+  bool buffer_splitting = true;   // §3.4 pass
+  /// Spend leftover URAM to make on-chip weights persistent across
+  /// inferences (exclusive buffers instead of window-shared ones).
+  bool residency_promotion = true;
+  /// Ship the uniform design unchanged when the allocation gains do not
+  /// cover the URAM clock penalty. Disable for pass-isolation ablations
+  /// (Fig. 8) where the pass's raw effect is the point.
+  bool allow_fallback_to_umm = true;
+  AllocatorKind allocator = AllocatorKind::kDnnk;
+  /// 1 = keep the UMM-optimal design; 2 = re-run DSE under the allocation.
+  int dse_passes = 2;
+  /// Fraction of post-tile-buffer SRAM handed to DNNK as R_sram (the rest
+  /// is routing/control margin).
+  double sram_capacity_fraction = 0.90;
+  hw::DseOptions dse;
+  LivenessOptions liveness;
+  AllocatorOptions alloc;
+  SplitOptions split;
+};
+
+/// An on-chip tensor buffer with its physical SRAM placement.
+struct PhysicalBuffer {
+  VirtualBuffer buffer;
+  mem::SramAllocation sram;
+};
+
+struct AllocationPlan {
+  bool is_umm = false;
+  hw::AcceleratorDesign design;
+
+  /// Allocation entities and the virtual buffers over them. `buffers`
+  /// indexes into `entities` via VirtualBuffer::members.
+  std::vector<TensorEntity> entities;
+  std::vector<VirtualBuffer> buffers;
+  std::vector<bool> buffer_on_chip;
+  std::vector<PhysicalBuffer> physical;
+  OnChipState state{0};
+  PrefetchResult prefetch;
+
+  /// Weight tensors promoted to persistent residency: their buffer is
+  /// never shared, so after the first inference the weights are simply
+  /// on-chip — no per-inference prefetch, no stall (steady-state metric).
+  std::vector<graph::LayerId> resident_weights;
+
+  hw::TileBufferBytes tile_buffers;
+  std::int64_t tensor_buffer_bytes = 0;
+  int bram_used = 0, bram_total = 0;
+  int uram_used = 0, uram_total = 0;
+
+  /// Eq. 1 latency estimates (prefetch stalls are the simulator's job).
+  double est_latency_s = 0.0;
+  double umm_latency_s = 0.0;
+  int num_memory_bound_conv = 0;
+  /// Memory-bound conv layers with at least one on-chip tensor (POL).
+  int num_benefiting_conv = 0;
+
+  bool weight_is_resident(graph::LayerId layer) const;
+
+  double speedup_vs_umm() const {
+    return est_latency_s > 0 ? umm_latency_s / est_latency_s : 0.0;
+  }
+  double pol() const {
+    return num_memory_bound_conv > 0
+               ? static_cast<double>(num_benefiting_conv) / num_memory_bound_conv
+               : 0.0;
+  }
+  double bram_utilization() const {
+    return bram_total > 0 ? static_cast<double>(bram_used) / bram_total : 0.0;
+  }
+  double uram_utilization() const {
+    return uram_total > 0 ? static_cast<double>(uram_used) / uram_total : 0.0;
+  }
+  /// Byte-weighted utilization of all on-chip memory (Tab. 1 SRAM column).
+  double sram_utilization() const;
+};
+
+class LcmmCompiler {
+ public:
+  LcmmCompiler(hw::FpgaDevice device, hw::Precision precision,
+               LcmmOptions options = {});
+
+  /// Full LCMM compilation.
+  AllocationPlan compile(const graph::ComputationGraph& graph) const;
+  /// Uniform-memory-management baseline.
+  AllocationPlan compile_umm(const graph::ComputationGraph& graph) const;
+  /// LCMM with a caller-fixed design (skips DSE; used by design-space scans).
+  AllocationPlan compile_with_design(const graph::ComputationGraph& graph,
+                                     const hw::AcceleratorDesign& design) const;
+
+  const LcmmOptions& options() const { return options_; }
+  const hw::FpgaDevice& device() const { return device_; }
+  hw::Precision precision() const { return precision_; }
+
+ private:
+  AllocationPlan allocate_under_design(const graph::ComputationGraph& graph,
+                                       const hw::AcceleratorDesign& design) const;
+  void place_physical(AllocationPlan& plan,
+                      const graph::ComputationGraph& graph) const;
+
+  hw::FpgaDevice device_;
+  hw::Precision precision_;
+  LcmmOptions options_;
+};
+
+}  // namespace lcmm::core

@@ -1,0 +1,77 @@
+#include "core/liveness.hpp"
+
+#include <algorithm>
+
+namespace lcmm::core {
+
+int value_def_step(const graph::ComputationGraph& graph, graph::ValueId value) {
+  const graph::Value& v = graph.value(value);
+  int def = kBeforeExecution;
+  for (graph::LayerId p : v.producers) def = std::max(def, graph.step_of(p));
+  return def;
+}
+
+int value_last_use_step(const graph::ComputationGraph& graph,
+                        graph::ValueId value) {
+  const graph::Value& v = graph.value(value);
+  int last = value_def_step(graph, value);
+  for (graph::LayerId c : v.consumers) last = std::max(last, graph.step_of(c));
+  return last;
+}
+
+std::vector<TensorEntity> build_feature_entities(const hw::PerfModel& model,
+                                                 const LivenessOptions& options) {
+  const graph::ComputationGraph& graph = model.graph();
+  std::vector<TensorEntity> entities;
+  // Activations scale with the batch; weight entity sizes do not.
+  const int bpe =
+      hw::bytes_per_elem(model.design().precision) * model.design().batch;
+
+  for (const graph::Layer& layer : graph.layers()) {
+    const hw::LayerTiming& t = model.timing(layer.id);
+    if (!options.include_compute_bound && !t.memory_bound()) continue;
+    if (!options.include_pools && !layer.is_conv()) continue;
+    const int step = graph.step_of(layer.id);
+
+    // t_if(i): the consumed value, live from its production to this read.
+    {
+      TensorEntity e;
+      e.key = {layer.id, TensorSource::kInput};
+      e.value = layer.input;
+      e.name = graph.value(layer.input).name + "@" + layer.name;
+      e.bytes = graph.value(layer.input).shape.elems() * bpe;
+      e.def_step = value_def_step(graph, layer.input);
+      e.last_use_step = step;
+      e.stream_latency_s = t.if_s;
+      entities.push_back(std::move(e));
+    }
+
+    if (layer.has_residual()) {
+      TensorEntity e;
+      e.key = {layer.id, TensorSource::kResidual};
+      e.value = layer.residual;
+      e.name = graph.value(layer.residual).name + "@" + layer.name + ".res";
+      e.bytes = graph.value(layer.residual).shape.elems() * bpe;
+      e.def_step = value_def_step(graph, layer.residual);
+      e.last_use_step = step;
+      e.stream_latency_s = t.res_s;
+      entities.push_back(std::move(e));
+    }
+
+    // t_of(i): this layer's output slice, live until the value's last read.
+    {
+      TensorEntity e;
+      e.key = {layer.id, TensorSource::kOutput};
+      e.value = layer.output;
+      e.name = layer.name + ".of";
+      e.bytes = graph.own_output_shape(layer.id).elems() * bpe;
+      e.def_step = step;
+      e.last_use_step = value_last_use_step(graph, layer.output);
+      e.stream_latency_s = t.of_s;
+      entities.push_back(std::move(e));
+    }
+  }
+  return entities;
+}
+
+}  // namespace lcmm::core

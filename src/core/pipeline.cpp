@@ -1,0 +1,245 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "sim/timeline.hpp"
+#include "util/logging.hpp"
+
+namespace lcmm::core {
+
+std::vector<int> legal_cut_points(const graph::ComputationGraph& graph) {
+  const int steps = static_cast<int>(graph.num_layers());
+  // A cut after step s is illegal if some value has producers both at
+  // steps <= s and steps > s (its slices would live on two accelerators).
+  std::vector<bool> illegal(static_cast<std::size_t>(steps), false);
+  for (graph::ValueId vid : graph.live_values()) {
+    const graph::Value& v = graph.value(vid);
+    if (v.producers.size() < 2) continue;
+    int lo = steps, hi = -1;
+    for (graph::LayerId p : v.producers) {
+      lo = std::min(lo, graph.step_of(p));
+      hi = std::max(hi, graph.step_of(p));
+    }
+    for (int s = lo; s < hi; ++s) illegal[static_cast<std::size_t>(s)] = true;
+  }
+  std::vector<int> cuts;
+  for (int s = 0; s < steps - 1; ++s) {
+    if (!illegal[static_cast<std::size_t>(s)]) cuts.push_back(s);
+  }
+  return cuts;
+}
+
+graph::ComputationGraph extract_segment(const graph::ComputationGraph& graph,
+                                        int first_step, int last_step) {
+  const std::vector<graph::LayerId>& order = graph.topo_order();
+  if (first_step < 0 || last_step >= static_cast<int>(order.size()) ||
+      first_step > last_step) {
+    throw std::invalid_argument("extract_segment: bad step range");
+  }
+  graph::ComputationGraph segment(graph.name() + "[" +
+                                  std::to_string(first_step) + ".." +
+                                  std::to_string(last_step) + "]");
+  // Old value id -> new value id; external values become inputs.
+  std::map<graph::ValueId, graph::ValueId> mapped;
+  const auto resolve = [&](graph::ValueId old) {
+    const auto it = mapped.find(old);
+    if (it != mapped.end()) return it->second;
+    const graph::Value& v = graph.value(old);
+    for (graph::LayerId p : v.producers) {
+      const int s = graph.step_of(p);
+      if (s >= first_step && s <= last_step) {
+        throw std::invalid_argument(
+            "extract_segment: value '" + v.name +
+            "' has producers on both sides of the cut");
+      }
+    }
+    const graph::ValueId fresh = segment.add_input(v.name, v.shape);
+    mapped.emplace(old, fresh);
+    return fresh;
+  };
+
+  // Pending concat groups: old merged value -> emitted member values.
+  std::map<graph::ValueId, std::vector<graph::ValueId>> pending_concats;
+
+  std::string stage;
+  for (int s = first_step; s <= last_step; ++s) {
+    const graph::Layer& l = graph.layer(order[static_cast<std::size_t>(s)]);
+    if (l.stage != stage) {
+      stage = l.stage;
+      segment.set_stage(stage);
+    }
+    const graph::ValueId input = resolve(l.input);
+    graph::ValueId out;
+    if (l.kind == graph::LayerKind::kPool) {
+      out = segment.add_pool(l.name, input, l.pool);
+    } else {
+      const graph::ValueId residual =
+          l.has_residual() ? resolve(l.residual) : graph::kInvalidValue;
+      out = segment.add_conv(l.name, input, l.conv, residual);
+    }
+    const graph::Value& old_out = graph.value(l.output);
+    if (old_out.producers.size() < 2) {
+      mapped.emplace(l.output, out);
+      continue;
+    }
+    // Multi-producer value: emit the concat once every producer is placed.
+    auto& members = pending_concats[l.output];
+    members.push_back(out);
+    if (members.size() == old_out.producers.size()) {
+      // Order members by the producers' channel offsets.
+      std::vector<std::pair<int, graph::ValueId>> ordered;
+      std::vector<graph::LayerId> producers = old_out.producers;
+      std::sort(producers.begin(), producers.end(),
+                [&](graph::LayerId a, graph::LayerId b) {
+                  return graph.layer(a).output_channel_offset <
+                         graph.layer(b).output_channel_offset;
+                });
+      std::vector<graph::ValueId> parts;
+      for (graph::LayerId p : producers) {
+        // Members were pushed in topo order; find the matching emitted
+        // value by the producing layer's name.
+        for (graph::ValueId candidate : members) {
+          const graph::Value& cv = segment.value(candidate);
+          if (cv.producers.size() == 1 &&
+              segment.layer(cv.producers.front()).name ==
+                  graph.layer(p).name) {
+            parts.push_back(candidate);
+            break;
+          }
+        }
+      }
+      if (parts.size() != members.size()) {
+        throw std::logic_error("extract_segment: concat reconstruction failed");
+      }
+      mapped.emplace(l.output, segment.add_concat(old_out.name, parts));
+      pending_concats.erase(l.output);
+    }
+  }
+  if (!pending_concats.empty()) {
+    throw std::invalid_argument(
+        "extract_segment: cut splits a concat producer group");
+  }
+  segment.validate();
+  return segment;
+}
+
+PipelinePartitioner::PipelinePartitioner(hw::FpgaDevice device,
+                                         hw::Precision precision,
+                                         LcmmOptions options)
+    : device_(std::move(device)), precision_(precision),
+      options_(std::move(options)) {}
+
+hw::FpgaDevice PipelinePartitioner::device_slice(int num_segments) const {
+  if (num_segments < 1) {
+    throw std::invalid_argument("device_slice: num_segments < 1");
+  }
+  hw::FpgaDevice slice = device_;
+  slice.dsp_total /= num_segments;
+  slice.bram36_total /= num_segments;
+  slice.uram_total /= num_segments;
+  // DRAM banks are physical; distribute them (at least one per slice).
+  slice.ddr_banks = std::max(1, device_.ddr_banks / num_segments);
+  return slice;
+}
+
+PipelinePlan PipelinePartitioner::partition(
+    const graph::ComputationGraph& graph, int num_segments) const {
+  const int steps = static_cast<int>(graph.num_layers());
+  if (num_segments < 1 || num_segments > steps) {
+    throw std::invalid_argument("partition: bad num_segments");
+  }
+  const hw::FpgaDevice slice = device_slice(num_segments);
+  LcmmCompiler compiler(slice, precision_, options_);
+
+  // Cheap per-layer latency estimates on the slice for the boundary DP.
+  const hw::Dse dse(slice, precision_, options_.dse);
+  const hw::DseResult seed = dse.explore(graph);
+  hw::PerfModel model(graph, seed.design);
+  std::vector<double> prefix(static_cast<std::size_t>(steps) + 1, 0.0);
+  const auto& order = graph.topo_order();
+  for (int s = 0; s < steps; ++s) {
+    prefix[static_cast<std::size_t>(s) + 1] =
+        prefix[static_cast<std::size_t>(s)] +
+        model.timing(order[static_cast<std::size_t>(s)]).umm_latency();
+  }
+
+  // Candidate boundaries: legal cuts plus the end of the network.
+  std::vector<int> cuts = legal_cut_points(graph);
+  cuts.push_back(steps - 1);
+  const int n = static_cast<int>(cuts.size());
+  if (num_segments > n) {
+    throw std::invalid_argument("partition: only " + std::to_string(n) +
+                                " legal segments available");
+  }
+
+  // DP minimizing the bottleneck: best[k][i] = min over j < i of
+  // max(best[k-1][j], cost(j, i]), over cut indices.
+  const double kInf = std::numeric_limits<double>::infinity();
+  const auto cost = [&](int from_step, int to_cut) {
+    // Segment covering steps (from_step .. cuts[to_cut]].
+    return prefix[static_cast<std::size_t>(cuts[static_cast<std::size_t>(
+               to_cut)]) + 1] -
+           prefix[static_cast<std::size_t>(from_step)];
+  };
+  std::vector<std::vector<double>> best(
+      static_cast<std::size_t>(num_segments) + 1,
+      std::vector<double>(static_cast<std::size_t>(n), kInf));
+  std::vector<std::vector<int>> back(
+      static_cast<std::size_t>(num_segments) + 1,
+      std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (int i = 0; i < n; ++i) best[1][static_cast<std::size_t>(i)] = cost(0, i);
+  for (int k = 2; k <= num_segments; ++k) {
+    for (int i = k - 1; i < n; ++i) {
+      for (int j = k - 2; j < i; ++j) {
+        const double candidate =
+            std::max(best[static_cast<std::size_t>(k - 1)]
+                         [static_cast<std::size_t>(j)],
+                     cost(cuts[static_cast<std::size_t>(j)] + 1, i));
+        if (candidate < best[static_cast<std::size_t>(k)]
+                            [static_cast<std::size_t>(i)]) {
+          best[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] =
+              candidate;
+          back[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] = j;
+        }
+      }
+    }
+  }
+
+  // Recover boundaries (cut indices), last segment ends at cuts[n-1].
+  std::vector<int> boundary_steps;
+  {
+    int i = n - 1;
+    for (int k = num_segments; k >= 1; --k) {
+      boundary_steps.push_back(cuts[static_cast<std::size_t>(i)]);
+      i = back[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)];
+    }
+    std::reverse(boundary_steps.begin(), boundary_steps.end());
+  }
+
+  // Compile each segment with LCMM on its slice.
+  PipelinePlan plan;
+  int from = 0;
+  for (int boundary : boundary_steps) {
+    PipelineSegment segment;
+    segment.first_step = from;
+    segment.last_step = boundary;
+    segment.subgraph = extract_segment(graph, from, boundary);
+    segment.plan = compiler.compile(segment.subgraph);
+    const sim::SimResult sim =
+        sim::refine_against_stalls(segment.subgraph, segment.plan);
+    segment.latency_s = sim.total_s;
+    plan.bottleneck_s = std::max(plan.bottleneck_s, segment.latency_s);
+    plan.latency_s += segment.latency_s;
+    from = boundary + 1;
+    plan.segments.push_back(std::move(segment));
+  }
+  LCMM_INFO() << "pipeline(" << graph.name() << ", K=" << num_segments
+              << "): II " << plan.bottleneck_s * 1e3 << " ms, latency "
+              << plan.latency_s * 1e3 << " ms";
+  return plan;
+}
+
+}  // namespace lcmm::core

@@ -1,0 +1,73 @@
+// Multi-accelerator pipelining — the paper's noted future-work integration
+// with TGPA-style heterogeneous designs (§4.2: "LCMM is orthogonal to the
+// heterogeneous design methodology which could be integrated ... to further
+// improve performance density").
+//
+// The device is split into K equal slices (DSP, BRAM, URAM, DRAM banks);
+// the network is cut into K contiguous pipeline segments, each compiled by
+// LCMM on its slice; images stream through the segments, so throughput is
+// set by the slowest segment (the initiation interval) while single-image
+// latency is the sum.
+//
+// Segment boundaries are chosen by dynamic programming over per-layer
+// latency estimates, restricted to cuts that do not split a concat value's
+// producer set across accelerators.
+#pragma once
+
+#include "core/lcmm.hpp"
+
+namespace lcmm::core {
+
+struct PipelineSegment {
+  /// Topological step range [first_step, last_step], inclusive.
+  int first_step = 0;
+  int last_step = 0;
+  /// The segment's own computation graph (external feeds become inputs).
+  graph::ComputationGraph subgraph{"segment"};
+  AllocationPlan plan;
+  /// Simulated per-image time on this segment.
+  double latency_s = 0.0;
+};
+
+struct PipelinePlan {
+  std::vector<PipelineSegment> segments;
+  /// Initiation interval: the slowest segment.
+  double bottleneck_s = 0.0;
+  /// Single-image end-to-end latency (sum of segments).
+  double latency_s = 0.0;
+
+  double throughput_images_per_s() const {
+    return bottleneck_s > 0 ? 1.0 / bottleneck_s : 0.0;
+  }
+};
+
+/// Extracts the contiguous topo-step range [first, last] of `graph` as a
+/// standalone graph; values produced before the range become inputs.
+/// Throws std::invalid_argument if the cut splits a value's producers.
+graph::ComputationGraph extract_segment(const graph::ComputationGraph& graph,
+                                        int first_step, int last_step);
+
+/// Steps after which the graph may legally be cut (no multi-producer value
+/// straddles the boundary). The last step is never included.
+std::vector<int> legal_cut_points(const graph::ComputationGraph& graph);
+
+class PipelinePartitioner {
+ public:
+  PipelinePartitioner(hw::FpgaDevice device, hw::Precision precision,
+                      LcmmOptions options = {});
+
+  /// Partitions into `num_segments` pipeline stages (1 = plain LCMM).
+  /// Throws std::invalid_argument if fewer legal segments exist.
+  PipelinePlan partition(const graph::ComputationGraph& graph,
+                         int num_segments) const;
+
+  /// The per-segment device slice.
+  hw::FpgaDevice device_slice(int num_segments) const;
+
+ private:
+  hw::FpgaDevice device_;
+  hw::Precision precision_;
+  LcmmOptions options_;
+};
+
+}  // namespace lcmm::core

@@ -1,0 +1,96 @@
+#include "core/prefetch.hpp"
+
+#include <algorithm>
+
+namespace lcmm::core {
+
+namespace {
+/// Full weight tensors stream sequentially from DRAM: long bursts.
+constexpr double kSequentialBurstBytes = 4096.0;
+}  // namespace
+
+PrefetchResult::PrefetchResult(std::vector<PrefetchEdge> edges)
+    : edges_(std::move(edges)) {
+  std::sort(edges_.begin(), edges_.end(),
+            [](const PrefetchEdge& a, const PrefetchEdge& b) {
+              return a.target < b.target;
+            });
+}
+
+const PrefetchEdge* PrefetchResult::edge_for(graph::LayerId layer) const {
+  const auto it = std::lower_bound(
+      edges_.begin(), edges_.end(), layer,
+      [](const PrefetchEdge& e, graph::LayerId id) { return e.target < id; });
+  return (it != edges_.end() && it->target == layer) ? &*it : nullptr;
+}
+
+int PrefetchResult::num_fully_hidden() const {
+  int n = 0;
+  for (const PrefetchEdge& e : edges_) n += e.fully_hidden() ? 1 : 0;
+  return n;
+}
+
+PrefetchResult build_prefetch_schedule(const hw::PerfModel& model,
+                                       const LivenessOptions& options) {
+  const graph::ComputationGraph& graph = model.graph();
+  const std::vector<graph::LayerId>& order = graph.topo_order();
+  const int bpe = hw::bytes_per_elem(model.design().precision);
+
+  // UMM latency per execution step, for the backtrace clock.
+  std::vector<double> step_latency(order.size());
+  for (std::size_t s = 0; s < order.size(); ++s) {
+    step_latency[s] = model.timing(order[s]).umm_latency();
+  }
+
+  std::vector<PrefetchEdge> edges;
+  for (const graph::Layer& layer : graph.layers()) {
+    if (!layer.is_conv()) continue;
+    const hw::LayerTiming& t = model.timing(layer.id);
+    if (!options.include_compute_bound && !t.memory_bound()) continue;
+    const std::int64_t bytes = graph.layer_weight_elems(layer.id) * bpe;
+    if (bytes <= 0) continue;
+
+    PrefetchEdge edge;
+    edge.target = layer.id;
+    edge.load_seconds = model.ddr().transfer_seconds(
+        static_cast<double>(bytes), kSequentialBurstBytes);
+
+    // Backtrace: accumulate elapsed execution time walking backwards until
+    // it covers the load time.
+    const int k = graph.step_of(layer.id);
+    double elapsed = 0.0;
+    int start = kBeforeExecution;
+    for (int s = k - 1; s >= 0; --s) {
+      elapsed += step_latency[static_cast<std::size_t>(s)];
+      if (elapsed >= edge.load_seconds) {
+        start = s;
+        break;
+      }
+    }
+    edge.start_step = start;
+    edge.window_seconds = elapsed;
+    edges.push_back(edge);
+  }
+  return PrefetchResult(std::move(edges));
+}
+
+std::vector<TensorEntity> build_weight_entities(const hw::PerfModel& model,
+                                                const PrefetchResult& prefetch) {
+  const graph::ComputationGraph& graph = model.graph();
+  const int bpe = hw::bytes_per_elem(model.design().precision);
+  std::vector<TensorEntity> entities;
+  for (const PrefetchEdge& edge : prefetch.edges()) {
+    const graph::Layer& layer = graph.layer(edge.target);
+    TensorEntity e;
+    e.key = {layer.id, TensorSource::kWeight};
+    e.name = layer.name + ".wt";
+    e.bytes = graph.layer_weight_elems(layer.id) * bpe;
+    e.def_step = edge.start_step;
+    e.last_use_step = graph.step_of(layer.id);
+    e.stream_latency_s = model.timing(layer.id).wt_s;
+    entities.push_back(std::move(e));
+  }
+  return entities;
+}
+
+}  // namespace lcmm::core

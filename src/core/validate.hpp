@@ -1,0 +1,29 @@
+// Allocation-plan validator: checks every structural invariant a plan must
+// satisfy before it is trusted (by the simulator, by a code generator, or
+// by a user embedding the library). Returns human-readable violations
+// instead of asserting, so tools can surface them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/lcmm.hpp"
+
+namespace lcmm::core {
+
+/// Checks `plan` against `graph`. Returns an empty vector when the plan is
+/// sound; otherwise one message per violation:
+///   1. plan/graph shape agreement (state sized to the layer count);
+///   2. buffer bookkeeping: every entity belongs to exactly one buffer,
+///      buffer capacity = max member size, members never interfere
+///      (liveness intervals within a buffer are pairwise disjoint);
+///   3. state consistency: a tensor marked on-chip has its buffer
+///      allocated, unless it was granted by output-residency propagation;
+///   4. resources: physical placements fit the device pools, and the DP
+///      capacity respected the configured fraction;
+///   5. residency: resident weights are on-chip weight tensors of real
+///      conv layers.
+std::vector<std::string> validate_plan(const graph::ComputationGraph& graph,
+                                       const AllocationPlan& plan);
+
+}  // namespace lcmm::core

@@ -1,0 +1,29 @@
+// Reference interpreter: executes a computation graph on concrete integer
+// tensors with straightforward nested loops — the golden semantics the
+// tile-schedule executor (exec/tiled.hpp) must match exactly.
+#pragma once
+
+#include <map>
+
+#include "exec/tensor_data.hpp"
+
+namespace lcmm::exec {
+
+/// Values produced by an execution, keyed by ValueId (graph inputs
+/// included). Concat values hold all their slices.
+using ValueMap = std::map<graph::ValueId, Tensor3i>;
+
+/// Executes the whole graph. Inputs and weights are synthesized
+/// deterministically from `seed`. Pooling: max, or *sum* for average
+/// pooling (integer semantics; both executors agree by construction).
+ValueMap reference_execute(const graph::ComputationGraph& graph,
+                           std::uint64_t seed);
+
+/// Executes one layer given its (already materialized) input value and
+/// weights, writing its slice into `out` at the layer's channel offset.
+void reference_layer(const graph::ComputationGraph& graph,
+                     graph::LayerId layer, const Tensor3i& input,
+                     const Tensor3i* residual, const LayerWeights& weights,
+                     Tensor3i& out);
+
+}  // namespace lcmm::exec

@@ -1,0 +1,34 @@
+#include "exec/tensor_data.hpp"
+
+#include "util/rng.hpp"
+
+namespace lcmm::exec {
+
+Tensor3i synthesize_input(graph::FeatureShape shape, std::uint64_t seed) {
+  Tensor3i t(shape);
+  util::Rng rng(seed ^ 0x1F2E3D4C5B6A7988ULL);
+  for (std::int64_t& v : t.raw()) {
+    v = rng.next_int(-8, 7);
+  }
+  return t;
+}
+
+LayerWeights synthesize_weights(const graph::ComputationGraph& graph,
+                                graph::LayerId layer, std::uint64_t seed) {
+  const graph::Layer& l = graph.layer(layer);
+  LayerWeights w;
+  if (!l.is_conv()) return w;
+  w.out_channels = l.conv.out_channels;
+  w.group_channels = graph.input_shape(layer).channels / l.conv.groups;
+  w.kh = l.conv.kernel_h;
+  w.kw = l.conv.kernel_w;
+  w.data.resize(static_cast<std::size_t>(w.out_channels) * w.group_channels *
+                w.kh * w.kw);
+  util::Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(layer) + 1)));
+  for (std::int64_t& v : w.data) {
+    v = rng.next_int(-8, 7);
+  }
+  return w;
+}
+
+}  // namespace lcmm::exec

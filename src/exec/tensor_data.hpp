@@ -1,0 +1,69 @@
+// Concrete tensor data for the functional execution layer.
+//
+// The performance model never touches values, but the tiling/halo/offset
+// arithmetic it relies on had better be functionally correct. exec/ runs
+// the graph on real data twice — a plain reference interpreter and an
+// executor that follows the accelerator's tile schedule — and the two must
+// agree EXACTLY. Integer arithmetic keeps equality exact regardless of
+// accumulation order (int64 accumulators never overflow for the value
+// ranges the synthesizer emits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcmm::exec {
+
+/// CHW-ordered integer feature map.
+class Tensor3i {
+ public:
+  Tensor3i() = default;
+  explicit Tensor3i(graph::FeatureShape shape)
+      : shape_(shape), data_(static_cast<std::size_t>(shape.elems()), 0) {}
+
+  const graph::FeatureShape& shape() const { return shape_; }
+  std::int64_t& at(int c, int h, int w) {
+    return data_[index(c, h, w)];
+  }
+  std::int64_t at(int c, int h, int w) const { return data_[index(c, h, w)]; }
+  /// Zero-padded read: out-of-bounds coordinates return 0.
+  std::int64_t at_padded(int c, int h, int w) const {
+    if (h < 0 || w < 0 || h >= shape_.height || w >= shape_.width) return 0;
+    return data_[index(c, h, w)];
+  }
+  const std::vector<std::int64_t>& raw() const { return data_; }
+  std::vector<std::int64_t>& raw() { return data_; }
+
+  bool operator==(const Tensor3i&) const = default;
+
+ private:
+  std::size_t index(int c, int h, int w) const {
+    return (static_cast<std::size_t>(c) * shape_.height + h) * shape_.width + w;
+  }
+  graph::FeatureShape shape_;
+  std::vector<std::int64_t> data_;
+};
+
+/// Per-layer weights: [M][C/groups][Kh][Kw], flattened.
+struct LayerWeights {
+  std::vector<std::int64_t> data;
+  int out_channels = 0;
+  int group_channels = 0;
+  int kh = 0;
+  int kw = 0;
+
+  std::int64_t at(int m, int c, int i, int j) const {
+    return data[((static_cast<std::size_t>(m) * group_channels + c) * kh + i) *
+                    kw + j];
+  }
+};
+
+/// Deterministic synthetic inputs/weights in [-8, 7] from a seed, so both
+/// executors consume identical data.
+Tensor3i synthesize_input(graph::FeatureShape shape, std::uint64_t seed);
+LayerWeights synthesize_weights(const graph::ComputationGraph& graph,
+                                graph::LayerId layer, std::uint64_t seed);
+
+}  // namespace lcmm::exec

@@ -1,0 +1,26 @@
+// Tile-schedule executor: runs the graph on concrete data following the
+// accelerator's loop nest — m-tiles of `rows` output channels, th x tw
+// spatial tiles, tc-deep channel tiles — materializing every input tile
+// (with its halo, clipped at image borders) into an explicit tile buffer
+// before computing from it.
+//
+// The point: compute reads ONLY the materialized tile buffer. If the halo
+// arithmetic under-fetches (the same arithmetic the traffic model bills
+// DRAM for), the executor throws instead of silently reading the source
+// tensor — so exact equality with the reference interpreter proves the
+// tiling geometry is functionally correct.
+#pragma once
+
+#include "exec/reference.hpp"
+#include "hw/perf_model.hpp"
+
+namespace lcmm::exec {
+
+/// Executes the whole graph via the tile schedule of `design` (conv layers;
+/// pooling uses the reference path). Same synthesis seed semantics as
+/// reference_execute. Throws std::logic_error on halo under-fetch.
+ValueMap tiled_execute(const graph::ComputationGraph& graph,
+                       const hw::AcceleratorDesign& design,
+                       std::uint64_t seed);
+
+}  // namespace lcmm::exec

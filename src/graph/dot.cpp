@@ -1,0 +1,42 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace lcmm::graph {
+
+std::string to_dot(const ComputationGraph& graph) {
+  std::ostringstream os;
+  os << "digraph \"" << graph.name() << "\" {\n  rankdir=TB;\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const Layer& l : graph.layers()) {
+    os << "  L" << l.id << " [label=\"" << l.name << "\\n"
+       << to_string(l.kind);
+    if (l.is_conv()) {
+      os << " " << l.conv.kernel_h << "x" << l.conv.kernel_w << "/" << l.conv.stride;
+    }
+    os << "\"];\n";
+  }
+  auto emit_edges_into = [&os, &graph](ValueId vid, LayerId consumer,
+                                       const char* style) {
+    const Value& v = graph.value(vid);
+    if (v.producers.empty()) {
+      os << "  IN" << vid << " [shape=ellipse, label=\"" << v.name << "\\n"
+         << v.shape.to_string() << "\"];\n";
+      os << "  IN" << vid << " -> L" << consumer << " [label=\"\"" << style
+         << "];\n";
+      return;
+    }
+    for (LayerId p : v.producers) {
+      os << "  L" << p << " -> L" << consumer << " [label=\""
+         << v.shape.to_string() << "\"" << style << "];\n";
+    }
+  };
+  for (const Layer& l : graph.layers()) {
+    emit_edges_into(l.input, l.id, "");
+    if (l.has_residual()) emit_edges_into(l.residual, l.id, ", style=dashed");
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace lcmm::graph

@@ -1,0 +1,83 @@
+#include "graph/layer.hpp"
+
+#include <stdexcept>
+
+namespace lcmm::graph {
+
+std::int64_t Layer::weight_elems(int in_channels) const {
+  if (kind != LayerKind::kConv) return 0;
+  return static_cast<std::int64_t>(conv.out_channels) *
+         (in_channels / conv.groups) * conv.kernel_h * conv.kernel_w;
+}
+
+std::int64_t Layer::macs(const FeatureShape& in, const FeatureShape& out) const {
+  if (kind == LayerKind::kConv) {
+    std::int64_t m = static_cast<std::int64_t>(out.channels) * out.height *
+                     out.width * (in.channels / conv.groups) * conv.kernel_h *
+                     conv.kernel_w;
+    if (has_residual()) m += out.elems();  // fused element-wise add
+    return m;
+  }
+  const std::int64_t window = pool.global
+                                  ? static_cast<std::int64_t>(in.height) * in.width
+                                  : static_cast<std::int64_t>(pool.kernel) * pool.kernel;
+  return out.elems() * window;
+}
+
+namespace {
+int conv_extent(int in, int pad, int kernel, int stride) {
+  const int padded = in + 2 * pad;
+  if (padded < kernel) {
+    throw std::invalid_argument("conv window larger than padded input (" +
+                                std::to_string(padded) + " < " + std::to_string(kernel) + ")");
+  }
+  return (padded - kernel) / stride + 1;
+}
+}  // namespace
+
+FeatureShape infer_output_shape(const Layer& layer, const FeatureShape& in) {
+  if (in.channels <= 0 || in.height <= 0 || in.width <= 0) {
+    throw std::invalid_argument("layer '" + layer.name + "': bad input shape " +
+                                in.to_string());
+  }
+  if (layer.kind == LayerKind::kConv) {
+    const ConvParams& p = layer.conv;
+    if (p.out_channels <= 0 || p.kernel_h <= 0 || p.kernel_w <= 0 || p.stride <= 0) {
+      throw std::invalid_argument("layer '" + layer.name + "': bad conv params");
+    }
+    if (p.groups <= 0 || in.channels % p.groups != 0 ||
+        p.out_channels % p.groups != 0) {
+      throw std::invalid_argument(
+          "layer '" + layer.name + "': groups=" + std::to_string(p.groups) +
+          " must divide in=" + std::to_string(in.channels) +
+          " and out=" + std::to_string(p.out_channels) + " channels");
+    }
+    return FeatureShape{p.out_channels,
+                        conv_extent(in.height, p.pad_h, p.kernel_h, p.stride),
+                        conv_extent(in.width, p.pad_w, p.kernel_w, p.stride)};
+  }
+  const PoolParams& p = layer.pool;
+  if (p.global) return FeatureShape{in.channels, 1, 1};
+  if (p.kernel <= 0 || p.stride <= 0) {
+    throw std::invalid_argument("layer '" + layer.name + "': bad pool params");
+  }
+  const int round_up = p.ceil_mode ? p.stride - 1 : 0;
+  const int eh = in.height + 2 * p.pad - p.kernel;
+  const int ew = in.width + 2 * p.pad - p.kernel;
+  if (eh < 0 || ew < 0) {
+    throw std::invalid_argument("layer '" + layer.name +
+                                "': pool window larger than padded input");
+  }
+  return FeatureShape{in.channels, (eh + round_up) / p.stride + 1,
+                      (ew + round_up) / p.stride + 1};
+}
+
+std::string to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kPool: return "pool";
+  }
+  return "?";
+}
+
+}  // namespace lcmm::graph

@@ -1,0 +1,91 @@
+// Layer (node) descriptions for the computation graph.
+//
+// The accelerator model follows FPGA practice: batch-norm/ReLU are fused
+// into the preceding convolution, a ResNet shortcut add is fused into the
+// convolution that closes the block (an extra input-feature stream read
+// during write-out), and fully-connected layers are 1x1 convolutions on a
+// 1x1 feature map. This leaves two executable layer kinds — convolution and
+// pooling — which matches the paper's evaluation where "layers" are the
+// conv layers of ResNet/GoogLeNet/Inception-v4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/tensor.hpp"
+
+namespace lcmm::graph {
+
+enum class LayerKind : std::uint8_t { kConv, kPool };
+
+enum class PoolType : std::uint8_t { kMax, kAvg };
+
+/// Convolution parameters. Fully-connected layers use kernel 1, stride 1 on
+/// a 1x1 input. Output shape: floor((in + 2*pad - kernel)/stride) + 1.
+/// `groups` partitions input and output channels (depthwise convolution:
+/// groups == in_channels == out_channels).
+struct ConvParams {
+  int out_channels = 0;
+  int kernel_h = 0;
+  int kernel_w = 0;
+  int stride = 1;
+  int pad_h = 0;
+  int pad_w = 0;
+  int groups = 1;
+};
+
+/// Pooling parameters. `global` pools the full spatial extent to 1x1.
+/// `ceil_mode` selects Caffe-style ceil output extents (GoogLeNet) versus
+/// floor extents (ResNet, Inception-v4 "valid" pooling).
+struct PoolParams {
+  PoolType type = PoolType::kMax;
+  int kernel = 0;
+  int stride = 1;
+  int pad = 0;
+  bool global = false;
+  bool ceil_mode = false;
+};
+
+struct Layer {
+  LayerId id = kInvalidLayer;
+  std::string name;
+  /// Network stage / block label ("conv1", "inception_3a", ...); used by the
+  /// per-block analyses (paper Fig. 2(b) and Fig. 8).
+  std::string stage;
+  LayerKind kind = LayerKind::kConv;
+
+  /// Main data input value.
+  ValueId input = kInvalidValue;
+  /// Optional fused residual input (conv only): a second feature stream
+  /// added element-wise during output write-out.
+  ValueId residual = kInvalidValue;
+  /// Output value. Several layers may share an output value via concat.
+  ValueId output = kInvalidValue;
+  /// Channel offset of this layer's slice within the output value
+  /// (non-zero only for branches of a concat value).
+  int output_channel_offset = 0;
+
+  ConvParams conv;
+  PoolParams pool;
+
+  bool is_conv() const { return kind == LayerKind::kConv; }
+  bool has_residual() const { return residual != kInvalidValue; }
+
+  /// Number of weight elements (conv: M*C*Kh*Kw; pool: 0).
+  /// `in_channels` must be the channel count of the input value.
+  std::int64_t weight_elems(int in_channels) const;
+
+  /// Multiply-accumulate count given input/output shapes. Pooling is
+  /// counted as one op per window element (it shares the datapath but is
+  /// never the bottleneck).
+  std::int64_t macs(const FeatureShape& in, const FeatureShape& out) const;
+};
+
+/// Output spatial/channel shape of a layer applied to `in`.
+/// Throws std::invalid_argument on inconsistent parameters.
+FeatureShape infer_output_shape(const Layer& layer, const FeatureShape& in);
+
+std::string to_string(LayerKind kind);
+
+}  // namespace lcmm::graph

@@ -1,0 +1,10 @@
+#include "graph/tensor.hpp"
+
+namespace lcmm::graph {
+
+std::string FeatureShape::to_string() const {
+  return std::to_string(channels) + "x" + std::to_string(height) + "x" +
+         std::to_string(width);
+}
+
+}  // namespace lcmm::graph

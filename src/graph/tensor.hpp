@@ -1,0 +1,54 @@
+// Feature-map values of a DNN computation graph.
+//
+// Terminology follows the paper: a *value* is one logical feature map
+// produced during inference (batch size 1 throughout, CHW layout). The
+// allocation passes in core/ later derive per-(node, source) tensor
+// entities from these values — e.g. the same value consumed by three
+// convolutions appears as three input-feature tensors (f1/f2/f4 in the
+// paper's Fig. 3), which is exactly how LCMM's liveness analysis wants it.
+//
+// A value normally has one producer layer; a value created by add_concat()
+// has several (each branch writes its channel slice directly into the
+// concatenated buffer, the standard zero-copy concat of FPGA accelerators).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lcmm::graph {
+
+using ValueId = std::int32_t;
+using LayerId = std::int32_t;
+
+inline constexpr ValueId kInvalidValue = -1;
+inline constexpr LayerId kInvalidLayer = -1;
+
+/// Shape of a feature-map value, batch size 1.
+struct FeatureShape {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+
+  std::int64_t elems() const {
+    return static_cast<std::int64_t>(channels) * height * width;
+  }
+  bool operator==(const FeatureShape&) const = default;
+  std::string to_string() const;
+};
+
+/// One feature-map value in the graph.
+struct Value {
+  ValueId id = kInvalidValue;
+  std::string name;
+  FeatureShape shape;
+  /// Layers writing this value. Empty for graph inputs; >1 for concat
+  /// values (each producer owns a channel slice).
+  std::vector<LayerId> producers;
+  /// Layers reading this value (including reads through a residual input).
+  std::vector<LayerId> consumers;
+
+  bool is_graph_input() const { return producers.empty(); }
+};
+
+}  // namespace lcmm::graph

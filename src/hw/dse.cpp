@@ -1,0 +1,120 @@
+#include "hw/dse.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace lcmm::hw {
+
+Dse::Dse(FpgaDevice device, Precision precision, DseOptions options)
+    : device_(std::move(device)), precision_(precision), options_(options) {
+  if (options_.dsp_budget_fraction <= 0 || options_.dsp_budget_fraction > 1 ||
+      options_.tile_bram_fraction <= 0 || options_.tile_bram_fraction > 1) {
+    throw std::invalid_argument("Dse: bad options");
+  }
+}
+
+int Dse::dsp_budget() const {
+  return static_cast<int>(device_.dsp_total * options_.dsp_budget_fraction);
+}
+
+std::vector<SystolicArrayConfig> Dse::array_candidates() const {
+  // The menus follow [18]: power-of-two-ish row/simd counts and column
+  // counts that divide common feature-map widths well. Row depth stops at
+  // 32 — the output-stationary template accumulates partial sums down each
+  // row, and deeper rows blow up the adder/banking depth (the published
+  // designs use modest output-channel unroll).
+  static constexpr int kRows[] = {8, 16, 32};
+  static constexpr int kCols[] = {8, 11, 14, 16, 22, 32};
+  static constexpr int kSimd[] = {4, 8, 16, 32};
+  const int budget = dsp_budget();
+  std::vector<int> packs = {1};
+  if (options_.allow_int8_packing && precision_ == Precision::kInt8) {
+    packs.push_back(2);
+  }
+  std::vector<SystolicArrayConfig> out;
+  for (int pack : packs) {
+    for (int r : kRows) {
+      for (int c : kCols) {
+        for (int s : kSimd) {
+          const SystolicArrayConfig cfg{r, c, s, pack};
+          const int cost = cfg.dsp_cost(precision_);
+          // Discard configs below half budget: they are strictly dominated
+          // by a larger legal sibling and only slow the search down.
+          if (cost <= budget && cost * 2 > budget) out.push_back(cfg);
+        }
+      }
+    }
+  }
+  if (out.empty()) {
+    // Tiny devices / fp32: accept anything that fits.
+    for (int r : kRows) {
+      for (int c : kCols) {
+        for (int s : kSimd) {
+          const SystolicArrayConfig cfg{r, c, s};
+          if (cfg.dsp_cost(precision_) <= budget) out.push_back(cfg);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TileConfig> Dse::tile_candidates(
+    const graph::ComputationGraph& graph,
+    const SystolicArrayConfig& array) const {
+  static constexpr int kTc[] = {16, 32, 64, 128};
+  static constexpr int kSpatial[] = {4, 7, 8, 14, 16, 17, 28};
+  const std::int64_t bram_budget = static_cast<std::int64_t>(
+      options_.tile_bram_fraction * device_.bram_bytes_total());
+  std::vector<TileConfig> out;
+  for (int tc : kTc) {
+    if (tc < array.simd) continue;  // SIMD lanes must be fed within a tile
+    for (int s : kSpatial) {
+      const TileConfig tile{tc, s, s};
+      if (tile_buffer_bytes(graph, array, tile, precision_).total() <= bram_budget) {
+        out.push_back(tile);
+      }
+    }
+  }
+  return out;
+}
+
+DseResult Dse::explore(const graph::ComputationGraph& graph,
+                       const Objective& objective) const {
+  const double freq = device_.clock_mhz(precision_, options_.heavy_uram_use);
+  DseResult best;
+  bool found = false;
+  for (const SystolicArrayConfig& array : array_candidates()) {
+    for (const TileConfig& tile : tile_candidates(graph, array)) {
+      AcceleratorDesign design;
+      design.device = device_;
+      design.precision = precision_;
+      design.array = array;
+      design.tile = tile;
+      design.freq_mhz = freq;
+      double latency;
+      if (objective) {
+        latency = objective(design);
+      } else {
+        latency = PerfModel(graph, design).umm_total_latency();
+      }
+      if (!found || latency < best.objective_latency_s) {
+        best.design = design;
+        best.objective_latency_s = latency;
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    throw std::runtime_error("Dse::explore: no feasible design for graph '" +
+                             graph.name() + "'");
+  }
+  LCMM_INFO() << "DSE(" << graph.name() << ", " << to_string(precision_)
+              << "): array " << best.design.array.to_string() << " tile "
+              << best.design.tile.to_string() << " -> "
+              << best.objective_latency_s * 1e3 << " ms";
+  return best;
+}
+
+}  // namespace lcmm::hw

@@ -1,0 +1,67 @@
+// Design-space exploration for the accelerator template (PE array shape +
+// uniform tile configuration), standing in for the DSE frameworks
+// [12, 18, 22] that the paper's Fig. 4 places upstream of LCMM.
+//
+// The DSE enumerates array/tile candidates under a DSP budget and a BRAM
+// budget for the double-buffered tile buffers, and minimizes a latency
+// objective. The default objective is the UMM latency (every tensor
+// off-chip); the LCMM driver re-runs the DSE with an allocation-aware
+// objective, which is how "smaller tile sizes improve computation
+// efficiency once the bandwidth bottleneck is gone" (§4.1) emerges.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hw/perf_model.hpp"
+
+namespace lcmm::hw {
+
+struct DseOptions {
+  /// Fraction of device DSPs available to the PE array (Tab. 1 uses 83%
+  /// for ResNet/GoogLeNet and 75% for Inception-v4).
+  double dsp_budget_fraction = 0.83;
+  /// Fraction of device BRAM available to the tile buffers. Uniform designs
+  /// keep tile buffers small (Tab. 2 reports 8-12% BRAM for UMM).
+  double tile_bram_fraction = 0.15;
+  /// Whether the design will rely on URAM tensor buffers (costs clock).
+  bool heavy_uram_use = false;
+  /// Allow int8 DSP pixel packing (2 MACs/DSP) in the candidate space.
+  /// Off by default: the paper's baseline [18] does not pack (its quoted
+  /// 2.7 Tops peak is one MAC per DSP).
+  bool allow_int8_packing = false;
+};
+
+struct DseResult {
+  AcceleratorDesign design;
+  double objective_latency_s = 0.0;
+};
+
+class Dse {
+ public:
+  Dse(FpgaDevice device, Precision precision, DseOptions options = {});
+
+  /// Latency objective: maps a complete design to estimated seconds.
+  using Objective = std::function<double(const AcceleratorDesign&)>;
+
+  /// Explores the candidate space for `graph`. With no objective, minimizes
+  /// the UMM total latency. Throws std::runtime_error if no candidate fits.
+  DseResult explore(const graph::ComputationGraph& graph,
+                    const Objective& objective = nullptr) const;
+
+  /// PE-array shapes within the DSP budget.
+  std::vector<SystolicArrayConfig> array_candidates() const;
+  /// Tile configurations legal for `array` on `graph` (BRAM-feasible).
+  std::vector<TileConfig> tile_candidates(const graph::ComputationGraph& graph,
+                                          const SystolicArrayConfig& array) const;
+
+  const DseOptions& options() const { return options_; }
+  int dsp_budget() const;
+
+ private:
+  FpgaDevice device_;
+  Precision precision_;
+  DseOptions options_;
+};
+
+}  // namespace lcmm::hw

@@ -1,0 +1,231 @@
+#include "hw/perf_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcmm::hw {
+
+std::string to_string(LoopOrder order) {
+  switch (order) {
+    case LoopOrder::kOutputStationary: return "output-stationary";
+    case LoopOrder::kWeightStationary: return "weight-stationary";
+    case LoopOrder::kInputStationary: return "input-stationary";
+  }
+  return "?";
+}
+
+namespace {
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+/// Throughput of the standalone pooling unit, elements/cycle. Pooling does
+/// not occupy the systolic array; a modest comparator tree suffices because
+/// pooling layers are bandwidth-dominated anyway.
+constexpr int kPoolLanes = 64;
+}  // namespace
+
+double LayerTiming::max_transfer() const {
+  return std::max({if_s + res_s, wt_s, of_s});
+}
+
+double LayerTiming::umm_latency() const {
+  return std::max(compute_s, max_transfer());
+}
+
+PerfModel::PerfModel(const graph::ComputationGraph& graph,
+                     AcceleratorDesign design)
+    : graph_(&graph), design_(std::move(design)),
+      ddr_(design_.device, design_.ddr_options) {
+  if (!design_.array.valid() || !design_.tile.valid() || design_.freq_mhz <= 0) {
+    throw std::invalid_argument("PerfModel: incomplete accelerator design");
+  }
+  if (design_.array.pixel_pack > 1 && design_.precision != Precision::kInt8) {
+    throw std::invalid_argument(
+        "PerfModel: DSP pixel packing requires 8-bit precision");
+  }
+  if (design_.batch < 1) {
+    throw std::invalid_argument("PerfModel: batch must be >= 1");
+  }
+  timings_.reserve(graph.num_layers());
+  for (const graph::Layer& layer : graph.layers()) {
+    timings_.push_back(compute_layer_timing(layer.id));
+  }
+}
+
+const LayerTiming& PerfModel::timing(graph::LayerId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= timings_.size()) {
+    throw std::out_of_range("PerfModel::timing: bad layer id");
+  }
+  return timings_[static_cast<std::size_t>(id)];
+}
+
+LayerTiming PerfModel::compute_layer_timing(graph::LayerId id) const {
+  const graph::Layer& layer = graph_->layer(id);
+  const graph::FeatureShape& in = graph_->input_shape(id);
+  const graph::FeatureShape& out = graph_->own_output_shape(id);
+  const SystolicArrayConfig& array = design_.array;
+  const TileConfig& tile = design_.tile;
+  const int bpe = bytes_per_elem(design_.precision);
+  const double cycle_s = 1.0 / (design_.freq_mhz * 1e6);
+
+  LayerTiming t;
+  t.nominal_macs = graph_->layer_macs(id) * design_.batch;
+
+  LayerTileGeometry geom = layer_tile_geometry(*graph_, id, array, tile);
+
+  // ---- compute ------------------------------------------------------------
+  if (layer.is_conv()) {
+    const std::int64_t kk =
+        static_cast<std::int64_t>(layer.conv.kernel_h) * layer.conv.kernel_w;
+    // Reduction steps: the per-group input channels are swept tile by tile
+    // with exact boundary extents, rounded up to the SIMD width inside each
+    // tile. Depthwise convolutions (group_channels == 1) leave most SIMD
+    // lanes idle — the well-known inefficiency of channel-vectorized
+    // arrays on MobileNet-style layers.
+    std::int64_t red_steps = 0;
+    for (int c0 = 0; c0 < geom.group_channels; c0 += tile.tc) {
+      const std::int64_t c_t = std::min(tile.tc, geom.group_channels - c0);
+      red_steps += ceil_div(c_t * kk, array.simd);
+    }
+    // Spatial sweep: boundary tiles process their true extents (sequential
+    // loop bounds are variable in the template); only the pixel-group
+    // granularity `cols` rounds up, and idle PE rows on the last
+    // output-channel tile are paid in full (output-stationary array).
+    std::int64_t px_steps = 0;
+    for (int h0 = 0; h0 < out.height; h0 += tile.th) {
+      const std::int64_t th_t = std::min(tile.th, out.height - h0);
+      for (int w0 = 0; w0 < out.width; w0 += tile.tw) {
+        const std::int64_t tw_t = std::min(tile.tw, out.width - w0);
+        px_steps += ceil_div(th_t * tw_t, array.effective_cols());
+      }
+    }
+    t.cycles = static_cast<std::int64_t>(geom.n_m) * px_steps * red_steps;
+    // The batch loop sits inside the weight reuse: compute repeats per
+    // image while each weight tile stays resident.
+    t.cycles *= design_.batch;
+    // Pipeline fill/drain per tile invocation.
+    t.cycles += geom.total_tiles() * (array.rows + array.cols + array.simd);
+  } else {
+    const graph::PoolParams& p = layer.pool;
+    const std::int64_t window =
+        p.global ? static_cast<std::int64_t>(in.height) * in.width
+                 : static_cast<std::int64_t>(p.kernel) * p.kernel;
+    t.cycles = ceil_div(out.elems() * window, kPoolLanes) * design_.batch;
+  }
+  t.compute_s = static_cast<double>(t.cycles) * cycle_s;
+
+  // ---- off-chip traffic (uniform management) -------------------------------
+  const int in_tile_cols =
+      std::min((tile.tw - 1) * (layer.is_conv() ? layer.conv.stride : 1) +
+                   (layer.is_conv() ? layer.conv.kernel_w : 1),
+               in.width);
+  const double if_burst =
+      static_cast<double>(std::min(tile.tc, in.channels)) * in_tile_cols * bpe;
+
+  // Fused residual stream: one extra read of the output-sized tensor on the
+  // input-feature interface during write-out.
+  if (layer.has_residual()) {
+    t.res_bytes = static_cast<double>(out.elems()) * bpe * design_.batch;
+    const double res_burst = static_cast<double>(array.rows) * tile.tw * bpe;
+    t.res_s = ddr_.transfer_seconds(t.res_bytes, res_burst);
+  }
+
+  // Output features: written exactly once per image (accumulation stays
+  // on chip).
+  t.of_bytes = static_cast<double>(out.elems()) * bpe * design_.batch;
+  const double of_burst =
+      static_cast<double>(std::min(array.rows, out.channels)) * tile.tw * bpe;
+  t.of_s = ddr_.transfer_seconds(t.of_bytes, of_burst);
+
+  if (!layer.is_conv()) {
+    // Pooling sweeps its input exactly once per image.
+    t.if_bytes = static_cast<double>(in.channels) * geom.fetched_rows *
+                 geom.fetched_cols * bpe * design_.batch;
+    t.if_s = ddr_.transfer_seconds(t.if_bytes, if_burst);
+    return t;
+  }
+
+  // Convolution: pick the fastest feasible loop order for this layer. The
+  // baseline template only has output-stationary; stationary variants need
+  // the design's extra resident buffer.
+  const double wt_burst = static_cast<double>(array.rows) *
+                          std::min(tile.tc, geom.group_channels) *
+                          layer.conv.kernel_h * layer.conv.kernel_w * bpe;
+  const double weights_once =
+      static_cast<double>(graph_->layer_weight_elems(id)) * bpe;
+  // Input bytes when re-fetched per m-tile vs streamed once (halo only),
+  // per image in the batch.
+  const double if_per_mtile = static_cast<double>(geom.n_m) *
+                              geom.channels_per_mtile * geom.fetched_rows *
+                              geom.fetched_cols * bpe * design_.batch;
+  const double if_once = static_cast<double>(in.channels) *
+                         geom.fetched_rows * geom.fetched_cols * bpe *
+                         design_.batch;
+
+  const std::int64_t kk =
+      static_cast<std::int64_t>(layer.conv.kernel_h) * layer.conv.kernel_w;
+  const std::int64_t ws_buffer = 2 * static_cast<std::int64_t>(array.rows) *
+                                 geom.group_channels * kk * bpe;
+  const int in_tile_rows =
+      std::min((tile.th - 1) * layer.conv.stride + layer.conv.kernel_h,
+               in.height);
+  const std::int64_t is_buffer = 2 * static_cast<std::int64_t>(in.channels) *
+                                 in_tile_rows * in_tile_cols * bpe;
+
+  struct Candidate {
+    LoopOrder order;
+    double if_bytes;
+    double wt_bytes;
+    bool feasible;
+  };
+  const Candidate candidates[] = {
+      {LoopOrder::kOutputStationary, if_per_mtile,
+       static_cast<double>(geom.spatial_tiles()) * weights_once, true},
+      {LoopOrder::kWeightStationary, if_per_mtile, weights_once,
+       ws_buffer <= design_.stationary_buffer_bytes},
+      {LoopOrder::kInputStationary, if_once,
+       static_cast<double>(geom.spatial_tiles()) * weights_once,
+       is_buffer <= design_.stationary_buffer_bytes},
+  };
+  bool first = true;
+  for (const Candidate& c : candidates) {
+    if (!c.feasible) continue;
+    const double if_s = ddr_.transfer_seconds(c.if_bytes, if_burst);
+    const double wt_s = ddr_.transfer_seconds(c.wt_bytes, wt_burst);
+    const double latency =
+        std::max({t.compute_s, if_s + t.res_s, wt_s, t.of_s});
+    const double current =
+        std::max({t.compute_s, t.if_s + t.res_s, t.wt_s, t.of_s});
+    if (first || latency < current) {
+      t.if_bytes = c.if_bytes;
+      t.if_s = if_s;
+      t.wt_bytes = c.wt_bytes;
+      t.wt_s = wt_s;
+      t.order = c.order;
+      first = false;
+    }
+  }
+  return t;
+}
+
+double PerfModel::umm_total_latency() const {
+  double total = 0.0;
+  for (const LayerTiming& t : timings_) total += t.umm_latency();
+  return total;
+}
+
+double PerfModel::total_nominal_ops() const {
+  return 2.0 * static_cast<double>(graph_->total_macs()) * design_.batch;
+}
+
+double PerfModel::ops_per_sec(double latency_s) const {
+  if (latency_s <= 0.0) throw std::invalid_argument("ops_per_sec: latency <= 0");
+  return total_nominal_ops() / latency_s;
+}
+
+int PerfModel::num_memory_bound_layers() const {
+  int n = 0;
+  for (const LayerTiming& t : timings_) n += t.memory_bound() ? 1 : 0;
+  return n;
+}
+
+}  // namespace lcmm::hw

@@ -1,0 +1,117 @@
+// Analytical per-layer performance model of the systolic-array accelerator,
+// implementing the paper's Eq. 1 latency semantics:
+//
+//   lat(i) = max( lat_c(i),  lat_d(i) for every tensor d still off-chip )
+//
+// Compute and the three DRAM streams (input features — which also carry a
+// fused residual read — weights, and output features) run concurrently via
+// double buffering, so a layer's latency is the maximum of the four terms.
+// LCMM's whole premise is removing transfer terms from this max by giving
+// tensors persistent on-chip buffers.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hw/device.hpp"
+#include "hw/systolic.hpp"
+#include "hw/tiling.hpp"
+#include "mem/ddr.hpp"
+
+namespace lcmm::hw {
+
+/// Loop order of the outer (DRAM-streaming) loops. The [18] template is
+/// output stationary; the stationary variants trade a larger resident
+/// buffer for eliminating one reload factor:
+///   kOutputStationary: if re-fetched per m-tile, wt per spatial tile.
+///   kWeightStationary: one m-tile's FULL weights stay resident -> weights
+///                      stream exactly once (needs rows*C/g*K*K on chip).
+///   kInputStationary:  one spatial tile's FULL input depth stays resident
+///                      -> inputs stream once (needs C*tile halo on chip).
+enum class LoopOrder : std::uint8_t {
+  kOutputStationary,
+  kWeightStationary,
+  kInputStationary,
+};
+
+std::string to_string(LoopOrder order);
+
+/// A fully specified accelerator design point (the DSE's output).
+struct AcceleratorDesign {
+  FpgaDevice device;
+  Precision precision = Precision::kInt8;
+  SystolicArrayConfig array;
+  TileConfig tile;
+  double freq_mhz = 0.0;
+  mem::DdrModelOptions ddr_options;
+
+  /// Extra on-chip buffer (bytes, double-buffered total) available for the
+  /// stationary loop orders. 0 pins every layer to kOutputStationary (the
+  /// paper's baseline template); > 0 lets the model pick the fastest
+  /// FEASIBLE order per layer.
+  std::int64_t stationary_buffer_bytes = 0;
+
+  /// Images processed per accelerator invocation. Weights stream once per
+  /// batch per tile (the batch loop sits inside the weight reuse), so
+  /// larger batches dilute the weight bandwidth pressure; activations
+  /// scale linearly. The paper evaluates batch 1 (latency focus).
+  int batch = 1;
+
+  double peak_ops_per_sec() const { return array.peak_ops_per_sec(freq_mhz); }
+};
+
+/// Per-layer timing and traffic under uniform (all-off-chip) management.
+struct LayerTiming {
+  double compute_s = 0.0;  // lat_c
+  double if_s = 0.0;       // main input-feature stream transfer time
+  double res_s = 0.0;      // fused residual stream (shares the if interface)
+  double wt_s = 0.0;       // weight stream
+  double of_s = 0.0;       // output-feature stream
+
+  double if_bytes = 0.0;
+  double res_bytes = 0.0;
+  double wt_bytes = 0.0;
+  double of_bytes = 0.0;
+
+  std::int64_t cycles = 0;          // compute cycles incl. padding waste
+  std::int64_t nominal_macs = 0;    // algorithmic MACs
+  /// Outer loop order this layer runs under (chosen per layer when the
+  /// design allows stationary buffers).
+  LoopOrder order = LoopOrder::kOutputStationary;
+
+  /// Eq. 1 with everything off-chip.
+  double umm_latency() const;
+  /// Largest off-chip transfer term.
+  double max_transfer() const;
+  bool memory_bound() const { return max_transfer() > compute_s; }
+};
+
+class PerfModel {
+ public:
+  PerfModel(const graph::ComputationGraph& graph, AcceleratorDesign design);
+
+  const AcceleratorDesign& design() const { return design_; }
+  const graph::ComputationGraph& graph() const { return *graph_; }
+  const mem::DdrModel& ddr() const { return ddr_; }
+
+  const LayerTiming& timing(graph::LayerId id) const;
+
+  /// Sum of Eq. 1 latencies over all layers (the UMM baseline).
+  double umm_total_latency() const;
+  /// 2 * algorithmic MACs of the whole network.
+  double total_nominal_ops() const;
+  /// Achieved throughput in ops/s for a given end-to-end latency.
+  double ops_per_sec(double latency_s) const;
+  /// Number of layers whose UMM latency is transfer-dominated.
+  int num_memory_bound_layers() const;
+
+ private:
+  LayerTiming compute_layer_timing(graph::LayerId id) const;
+
+  const graph::ComputationGraph* graph_;
+  AcceleratorDesign design_;
+  mem::DdrModel ddr_;
+  std::vector<LayerTiming> timings_;
+};
+
+}  // namespace lcmm::hw

@@ -1,0 +1,41 @@
+#include "hw/precision.hpp"
+
+namespace lcmm::hw {
+
+int bytes_per_elem(Precision p) {
+  switch (p) {
+    case Precision::kInt8: return 1;
+    case Precision::kInt16: return 2;
+    case Precision::kFp32: return 4;
+  }
+  return 0;
+}
+
+int dsps_per_mac(Precision p) {
+  switch (p) {
+    case Precision::kInt8: return 1;
+    case Precision::kInt16: return 1;
+    case Precision::kFp32: return 5;
+  }
+  return 0;
+}
+
+int accumulator_bytes(Precision p) {
+  switch (p) {
+    case Precision::kInt8: return 4;   // 32-bit accumulation of int8 products
+    case Precision::kInt16: return 4;  // 32/48-bit DSP accumulator, 4B stored
+    case Precision::kFp32: return 4;
+  }
+  return 0;
+}
+
+std::string to_string(Precision p) {
+  switch (p) {
+    case Precision::kInt8: return "8-bit";
+    case Precision::kInt16: return "16-bit";
+    case Precision::kFp32: return "32-bit";
+  }
+  return "?";
+}
+
+}  // namespace lcmm::hw

@@ -1,0 +1,27 @@
+// Arithmetic precisions evaluated in the paper (§4: 8/16-bit fixed point and
+// 32-bit floating point) and their FPGA implementation costs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lcmm::hw {
+
+enum class Precision : std::uint8_t { kInt8, kInt16, kFp32 };
+
+/// Bytes per tensor element.
+int bytes_per_elem(Precision p);
+
+/// DSP slices per multiply-accumulate. On Xilinx UltraScale+ a fixed-point
+/// MAC maps to one DSP48E2; an fp32 MAC needs 5 (paper §4.1).
+int dsps_per_mac(Precision p);
+
+/// Accumulator width in bytes (partial sums are kept wider than the data).
+int accumulator_bytes(Precision p);
+
+std::string to_string(Precision p);
+
+inline constexpr Precision kAllPrecisions[] = {Precision::kInt8, Precision::kInt16,
+                                               Precision::kFp32};
+
+}  // namespace lcmm::hw

@@ -1,0 +1,49 @@
+#include "hw/roofline.hpp"
+
+#include <algorithm>
+
+namespace lcmm::hw {
+
+RooflineSummary characterize_roofline(const PerfModel& model,
+                                      double bw_threshold_bytes_per_sec) {
+  RooflineSummary summary;
+  summary.peak_ops_per_sec = model.design().peak_ops_per_sec();
+  summary.device_peak_ops_per_sec =
+      2.0 * model.design().device.dsp_total /
+      dsps_per_mac(model.design().precision) * 200e6;
+  summary.stream_bw_peak = model.ddr().stream_peak_bytes_per_sec();
+  summary.bw_threshold = bw_threshold_bytes_per_sec;
+
+  for (const graph::Layer& layer : model.graph().layers()) {
+    if (!layer.is_conv()) continue;  // the paper characterizes conv layers
+    const LayerTiming& t = model.timing(layer.id);
+    RooflinePoint pt;
+    pt.layer = layer.id;
+    pt.name = layer.name;
+    const double ops = 2.0 * static_cast<double>(t.nominal_macs);
+    const double bytes = t.if_bytes + t.res_bytes + t.wt_bytes + t.of_bytes;
+    pt.intensity_ops_per_byte = bytes > 0 ? ops / bytes : 0.0;
+    pt.attainable_ops_per_sec = ops / t.umm_latency();
+    pt.memory_bound = t.memory_bound();
+    // Required bandwidth is quoted against the ideal compute time at the
+    // DEVICE peak (the paper's "layers need 70 GB/s" framing), not the
+    // padded cycle count of the concrete design.
+    const double ideal_compute_s = ops / summary.device_peak_ops_per_sec;
+    if (ideal_compute_s > 0) {
+      pt.required_stream_bw =
+          std::max({t.if_bytes + t.res_bytes, t.wt_bytes, t.of_bytes}) /
+          ideal_compute_s;
+      pt.required_total_bw = bytes / ideal_compute_s;
+    }
+    if (pt.memory_bound) {
+      ++summary.num_memory_bound;
+      if (pt.required_total_bw > bw_threshold_bytes_per_sec) {
+        ++summary.num_above_threshold;
+      }
+    }
+    summary.points.push_back(std::move(pt));
+  }
+  return summary;
+}
+
+}  // namespace lcmm::hw

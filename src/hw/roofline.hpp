@@ -1,0 +1,54 @@
+// Roofline characterization (Williams et al. [19]) of a network on an
+// accelerator design, reproducing the analysis behind the paper's Fig. 2(a):
+// per-layer operation intensity vs attainable performance, with the
+// memory-bound layer census (82 layers / 58% for Inception-v4) and the
+// required-bandwidth tail ("over 60% of them even need 70 GB/s").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/perf_model.hpp"
+
+namespace lcmm::hw {
+
+struct RooflinePoint {
+  graph::LayerId layer = graph::kInvalidLayer;
+  std::string name;
+  /// Ops per byte of total off-chip traffic under uniform management.
+  double intensity_ops_per_byte = 0.0;
+  /// Ops/s the layer actually attains under Eq. 1 (UMM).
+  double attainable_ops_per_sec = 0.0;
+  /// Bandwidth (bytes/s) the most demanding stream would need for the layer
+  /// to run at the device's ideal compute latency.
+  double required_stream_bw = 0.0;
+  /// Aggregate DRAM bandwidth (all three streams) the layer would need to
+  /// run at the ideal compute latency — the paper's "layers need 70 GB/s"
+  /// framing.
+  double required_total_bw = 0.0;
+  bool memory_bound = false;
+};
+
+struct RooflineSummary {
+  std::vector<RooflinePoint> points;  // conv layers only, like the paper
+  double peak_ops_per_sec = 0.0;
+  /// Device-level peak (every DSP at 200 MHz — the paper's 2.7 Tops for
+  /// the VU9P at fixed point); the required-bandwidth figures are quoted
+  /// against this roof, as in §2.2.
+  double device_peak_ops_per_sec = 0.0;
+  double stream_bw_peak = 0.0;  // theoretical per-stream bytes/s
+  int num_memory_bound = 0;
+  /// Memory-bound layers needing more than `bw_threshold` on some stream.
+  int num_above_threshold = 0;
+  double bw_threshold = 70e9;
+
+  double memory_bound_fraction() const {
+    return points.empty() ? 0.0
+                          : static_cast<double>(num_memory_bound) / points.size();
+  }
+};
+
+RooflineSummary characterize_roofline(const PerfModel& model,
+                                      double bw_threshold_bytes_per_sec = 70e9);
+
+}  // namespace lcmm::hw

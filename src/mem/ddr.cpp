@@ -1,0 +1,40 @@
+#include "mem/ddr.hpp"
+
+#include <stdexcept>
+
+namespace lcmm::mem {
+
+DdrModel::DdrModel(const hw::FpgaDevice& device, DdrModelOptions options)
+    : total_peak_bytes_per_sec_(device.ddr_peak_gbps_total() * 1e9),
+      options_(options) {
+  if (options_.streams <= 0 || options_.max_efficiency <= 0.0 ||
+      options_.max_efficiency > 1.0 || options_.burst_overhead_bytes < 0.0) {
+    throw std::invalid_argument("DdrModel: bad options");
+  }
+  if (total_peak_bytes_per_sec_ <= 0.0) {
+    throw std::invalid_argument("DdrModel: device has no DDR bandwidth");
+  }
+}
+
+double DdrModel::efficiency(double burst_bytes) const {
+  if (burst_bytes <= 0.0) return 0.0;
+  const double raw = burst_bytes / (burst_bytes + options_.burst_overhead_bytes);
+  return raw < options_.max_efficiency ? raw : options_.max_efficiency;
+}
+
+double DdrModel::stream_peak_bytes_per_sec() const {
+  return total_peak_bytes_per_sec_ / options_.streams;
+}
+
+double DdrModel::stream_bytes_per_sec(double burst_bytes) const {
+  return stream_peak_bytes_per_sec() * efficiency(burst_bytes);
+}
+
+double DdrModel::transfer_seconds(double bytes, double burst_bytes) const {
+  if (bytes <= 0.0) return 0.0;
+  const double bw = stream_bytes_per_sec(burst_bytes);
+  if (bw <= 0.0) throw std::logic_error("DdrModel: zero effective bandwidth");
+  return bytes / bw;
+}
+
+}  // namespace lcmm::mem

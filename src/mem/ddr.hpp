@@ -1,0 +1,59 @@
+// Off-chip DDR4 bandwidth model.
+//
+// The paper (§2.2) assumes the VU9P's four DDR4 banks (19.2 GB/s each) are
+// split so that each of the three concurrent tensor streams — input
+// features, weights, output features — owns one third of the aggregate
+// bandwidth (25.6 GB/s theoretical per stream). Real transfers of tile
+// data never reach the theoretical number: every burst pays row-activation
+// and protocol overhead, so short bursts see much lower efficiency. We model
+// that with the standard saturating form
+//     efficiency(burst) = burst / (burst + overhead)
+// capped by a bank-level ceiling (refresh, bus turnaround).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/device.hpp"
+
+namespace lcmm::mem {
+
+struct DdrModelOptions {
+  /// Fixed per-burst overhead expressed in equivalent data bytes
+  /// (row activation/precharge, address phases, read-write turnaround).
+  double burst_overhead_bytes = 512.0;
+  /// Upper bound on efficiency (refresh, turnaround, controller overhead).
+  /// Tiled accelerator access patterns on DDR4 typically sustain 60-70% of
+  /// the pin bandwidth; the paper's motivation (§2.2) depends on streams
+  /// falling well short of their 25.6 GB/s theoretical share.
+  double max_efficiency = 0.55;
+  /// Number of concurrent tensor streams sharing the banks (if/wt/of).
+  int streams = 3;
+};
+
+class DdrModel {
+ public:
+  DdrModel(const hw::FpgaDevice& device, DdrModelOptions options = {});
+
+  /// Burst efficiency in (0, max_efficiency] for the given contiguous
+  /// burst length in bytes.
+  double efficiency(double burst_bytes) const;
+
+  /// Theoretical per-stream bandwidth in bytes/second (the paper's
+  /// 25.6 GB/s figure for the VU9P).
+  double stream_peak_bytes_per_sec() const;
+
+  /// Effective per-stream bandwidth for transfers with the given burst
+  /// length, bytes/second.
+  double stream_bytes_per_sec(double burst_bytes) const;
+
+  /// Seconds to move `bytes` on one stream with the given burst length.
+  double transfer_seconds(double bytes, double burst_bytes) const;
+
+  const DdrModelOptions& options() const { return options_; }
+
+ private:
+  double total_peak_bytes_per_sec_;
+  DdrModelOptions options_;
+};
+
+}  // namespace lcmm::mem

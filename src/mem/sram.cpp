@@ -1,0 +1,60 @@
+#include "mem/sram.hpp"
+
+#include <stdexcept>
+
+namespace lcmm::mem {
+
+SramPools::SramPools(int bram36_blocks, int uram_blocks)
+    : bram_total_(bram36_blocks), uram_total_(uram_blocks) {
+  if (bram36_blocks < 0 || uram_blocks < 0) {
+    throw std::invalid_argument("SramPools: negative block count");
+  }
+}
+
+std::int64_t SramPools::block_bytes(SramPool pool) {
+  return pool == SramPool::kBram ? kBram36Bytes : kUramBytes;
+}
+
+int SramPools::blocks_needed(std::int64_t bytes, SramPool pool) {
+  if (bytes <= 0) throw std::invalid_argument("blocks_needed: bytes <= 0");
+  return static_cast<int>((bytes + block_bytes(pool) - 1) / block_bytes(pool));
+}
+
+std::optional<SramAllocation> SramPools::allocate(std::int64_t bytes,
+                                                  SramPool preferred) {
+  const SramPool other =
+      preferred == SramPool::kBram ? SramPool::kUram : SramPool::kBram;
+  for (SramPool pool : {preferred, other}) {
+    const int need = blocks_needed(bytes, pool);
+    int& used = pool == SramPool::kBram ? bram_used_ : uram_used_;
+    const int total = pool == SramPool::kBram ? bram_total_ : uram_total_;
+    if (used + need <= total) {
+      used += need;
+      return SramAllocation{pool, need, need * block_bytes(pool)};
+    }
+  }
+  return std::nullopt;
+}
+
+void SramPools::release(const SramAllocation& alloc) {
+  int& used = alloc.pool == SramPool::kBram ? bram_used_ : uram_used_;
+  if (alloc.blocks < 0 || alloc.blocks > used) {
+    throw std::logic_error("SramPools::release: releasing more than allocated");
+  }
+  used -= alloc.blocks;
+}
+
+std::int64_t SramPools::free_bytes() const {
+  return static_cast<std::int64_t>(bram_total_ - bram_used_) * kBram36Bytes +
+         static_cast<std::int64_t>(uram_total_ - uram_used_) * kUramBytes;
+}
+
+double SramPools::bram_utilization() const {
+  return bram_total_ == 0 ? 0.0 : static_cast<double>(bram_used_) / bram_total_;
+}
+
+double SramPools::uram_utilization() const {
+  return uram_total_ == 0 ? 0.0 : static_cast<double>(uram_used_) / uram_total_;
+}
+
+}  // namespace lcmm::mem

@@ -1,0 +1,58 @@
+// On-chip SRAM pools: block-granular BRAM36 / URAM accounting.
+//
+// The paper's Tab. 2 reports buffer sizes in URAM blocks ("9 of them
+// consuming 32 URAM blocks ... others consume 64, 96, 128 and 288");
+// allocation here is correspondingly quantized: a buffer occupies
+// ceil(bytes / block_bytes) whole blocks of one pool. Tensor buffers prefer
+// URAM (large, single wide port — fine for streaming tensors); tile buffers
+// live in BRAM (they need many narrow banks to feed the PE array).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lcmm::mem {
+
+enum class SramPool : std::uint8_t { kBram, kUram };
+
+struct SramAllocation {
+  SramPool pool = SramPool::kBram;
+  int blocks = 0;
+  std::int64_t capacity_bytes = 0;
+};
+
+class SramPools {
+ public:
+  /// Constructs pools with the given block counts (use the FpgaDevice
+  /// totals minus whatever the shell/platform consumes).
+  SramPools(int bram36_blocks, int uram_blocks);
+
+  static constexpr std::int64_t kBram36Bytes = 36 * 1024 / 8;
+  static constexpr std::int64_t kUramBytes = 288 * 1024 / 8;
+  static std::int64_t block_bytes(SramPool pool);
+  static int blocks_needed(std::int64_t bytes, SramPool pool);
+
+  /// Reserves `bytes` in the preferred pool, falling back to the other pool
+  /// if the preferred one is exhausted. Returns std::nullopt when neither
+  /// pool can hold the buffer.
+  std::optional<SramAllocation> allocate(std::int64_t bytes, SramPool preferred);
+  /// Returns an allocation's blocks to its pool.
+  void release(const SramAllocation& alloc);
+
+  int bram_total() const { return bram_total_; }
+  int uram_total() const { return uram_total_; }
+  int bram_used() const { return bram_used_; }
+  int uram_used() const { return uram_used_; }
+  std::int64_t free_bytes() const;
+  double bram_utilization() const;
+  double uram_utilization() const;
+
+ private:
+  int bram_total_;
+  int uram_total_;
+  int bram_used_ = 0;
+  int uram_used_ = 0;
+};
+
+}  // namespace lcmm::mem

@@ -1,0 +1,75 @@
+#include <array>
+
+#include "models/models.hpp"
+
+namespace lcmm::models {
+
+using graph::ComputationGraph;
+using graph::ConvParams;
+using graph::FeatureShape;
+using graph::PoolParams;
+using graph::PoolType;
+using graph::ValueId;
+
+namespace {
+
+struct InceptionSpec {
+  const char* name;
+  int b1;           // 1x1
+  int b2r, b2;      // 3x3 reduce, 3x3
+  int b3r, b3;      // 5x5 reduce, 5x5
+  int b4;           // pool projection 1x1
+};
+
+ValueId inception(ComputationGraph& g, const InceptionSpec& s, ValueId in) {
+  const std::string p = std::string("inception_") + s.name;
+  g.set_stage(p);
+  const ValueId branch1 = g.add_conv(p + "/1x1", in, ConvParams{s.b1, 1, 1, 1, 0, 0});
+  ValueId branch2 = g.add_conv(p + "/3x3_reduce", in, ConvParams{s.b2r, 1, 1, 1, 0, 0});
+  branch2 = g.add_conv(p + "/3x3", branch2, ConvParams{s.b2, 3, 3, 1, 1, 1});
+  ValueId branch3 = g.add_conv(p + "/5x5_reduce", in, ConvParams{s.b3r, 1, 1, 1, 0, 0});
+  branch3 = g.add_conv(p + "/5x5", branch3, ConvParams{s.b3, 5, 5, 1, 2, 2});
+  ValueId branch4 =
+      g.add_pool(p + "/pool", in, PoolParams{PoolType::kMax, 3, 1, 1, false, true});
+  branch4 = g.add_conv(p + "/pool_proj", branch4, ConvParams{s.b4, 1, 1, 1, 0, 0});
+  const std::array<ValueId, 4> parts{branch1, branch2, branch3, branch4};
+  return g.add_concat(p + "/output", parts);
+}
+
+}  // namespace
+
+graph::ComputationGraph build_googlenet() {
+  ComputationGraph g("googlenet");
+  g.set_stage("conv1");
+  ValueId x = g.add_input("image", FeatureShape{3, 224, 224});
+  x = g.add_conv("conv1/7x7_s2", x, ConvParams{64, 7, 7, 2, 3, 3});
+  x = g.add_pool("pool1/3x3_s2", x, PoolParams{PoolType::kMax, 3, 2, 0, false, true});
+  g.set_stage("conv2");
+  x = g.add_conv("conv2/3x3_reduce", x, ConvParams{64, 1, 1, 1, 0, 0});
+  x = g.add_conv("conv2/3x3", x, ConvParams{192, 3, 3, 1, 1, 1});
+  x = g.add_pool("pool2/3x3_s2", x, PoolParams{PoolType::kMax, 3, 2, 0, false, true});
+
+  static constexpr InceptionSpec kSpecs[] = {
+      {"3a", 64, 96, 128, 16, 32, 32},    {"3b", 128, 128, 192, 32, 96, 64},
+      {"4a", 192, 96, 208, 16, 48, 64},   {"4b", 160, 112, 224, 24, 64, 64},
+      {"4c", 128, 128, 256, 24, 64, 64},  {"4d", 112, 144, 288, 32, 64, 64},
+      {"4e", 256, 160, 320, 32, 128, 128},{"5a", 256, 160, 320, 32, 128, 128},
+      {"5b", 384, 192, 384, 48, 128, 128}};
+
+  for (const InceptionSpec& s : kSpecs) {
+    x = inception(g, s, x);
+    // Grid reductions after 3b and 4e.
+    if (s.name == std::string("3b") || s.name == std::string("4e")) {
+      x = g.add_pool(std::string("pool_after_") + s.name, x,
+                     PoolParams{PoolType::kMax, 3, 2, 0, false, true});
+    }
+  }
+
+  g.set_stage("head");
+  x = g.add_pool("pool5", x, PoolParams{PoolType::kAvg, 7, 1, 0, /*global=*/true});
+  g.add_fc("loss3/classifier", x, 1000);
+  g.validate();
+  return g;
+}
+
+}  // namespace lcmm::models

@@ -1,0 +1,147 @@
+#include <array>
+#include <string>
+
+#include "models/models.hpp"
+
+namespace lcmm::models {
+
+using graph::ComputationGraph;
+using graph::ConvParams;
+using graph::FeatureShape;
+using graph::PoolParams;
+using graph::PoolType;
+using graph::ValueId;
+
+namespace {
+
+// Convenience constructors. "Valid" convs/pools have zero padding; "same"
+// convs pad to preserve the spatial extent (kernel is odd everywhere).
+ConvParams conv_valid(int out, int kh, int kw, int stride = 1) {
+  return ConvParams{out, kh, kw, stride, 0, 0};
+}
+ConvParams conv_same(int out, int kh, int kw) {
+  return ConvParams{out, kh, kw, 1, kh / 2, kw / 2};
+}
+PoolParams max_valid_s2() { return PoolParams{PoolType::kMax, 3, 2, 0}; }
+PoolParams avg_same_s1() { return PoolParams{PoolType::kAvg, 3, 1, 1}; }
+
+ValueId stem(ComputationGraph& g, ValueId x) {
+  g.set_stage("stem");
+  x = g.add_conv("stem/conv1_3x3_s2", x, conv_valid(32, 3, 3, 2));   // 149x149
+  x = g.add_conv("stem/conv2_3x3", x, conv_valid(32, 3, 3));         // 147x147
+  x = g.add_conv("stem/conv3_3x3", x, conv_same(64, 3, 3));          // 147x147
+
+  const ValueId pool_a = g.add_pool("stem/mixed3a_pool", x, max_valid_s2());
+  const ValueId conv_a = g.add_conv("stem/mixed3a_conv", x, conv_valid(96, 3, 3, 2));
+  std::array<ValueId, 2> m3{pool_a, conv_a};
+  x = g.add_concat("stem/mixed_3a", m3);                              // 160x73x73
+
+  ValueId b1 = g.add_conv("stem/mixed4a_b1_1x1", x, conv_same(64, 1, 1));
+  b1 = g.add_conv("stem/mixed4a_b1_3x3", b1, conv_valid(96, 3, 3));   // 71x71
+  ValueId b2 = g.add_conv("stem/mixed4a_b2_1x1", x, conv_same(64, 1, 1));
+  b2 = g.add_conv("stem/mixed4a_b2_7x1", b2, conv_same(64, 7, 1));
+  b2 = g.add_conv("stem/mixed4a_b2_1x7", b2, conv_same(64, 1, 7));
+  b2 = g.add_conv("stem/mixed4a_b2_3x3", b2, conv_valid(96, 3, 3));   // 71x71
+  std::array<ValueId, 2> m4{b1, b2};
+  x = g.add_concat("stem/mixed_4a", m4);                              // 192x71x71
+
+  const ValueId conv_b = g.add_conv("stem/mixed5a_conv", x, conv_valid(192, 3, 3, 2));
+  const ValueId pool_b = g.add_pool("stem/mixed5a_pool", x, max_valid_s2());
+  std::array<ValueId, 2> m5{conv_b, pool_b};
+  return g.add_concat("stem/mixed_5a", m5);                           // 384x35x35
+}
+
+ValueId inception_a(ComputationGraph& g, int index, ValueId in) {
+  const std::string p = "inception_a" + std::to_string(index);
+  g.set_stage(p);
+  ValueId b1 = g.add_pool(p + "/pool", in, avg_same_s1());
+  b1 = g.add_conv(p + "/pool_proj", b1, conv_same(96, 1, 1));
+  const ValueId b2 = g.add_conv(p + "/1x1", in, conv_same(96, 1, 1));
+  ValueId b3 = g.add_conv(p + "/3x3_reduce", in, conv_same(64, 1, 1));
+  b3 = g.add_conv(p + "/3x3", b3, conv_same(96, 3, 3));
+  ValueId b4 = g.add_conv(p + "/d3x3_reduce", in, conv_same(64, 1, 1));
+  b4 = g.add_conv(p + "/d3x3_a", b4, conv_same(96, 3, 3));
+  b4 = g.add_conv(p + "/d3x3_b", b4, conv_same(96, 3, 3));
+  std::array<ValueId, 4> parts{b1, b2, b3, b4};
+  return g.add_concat(p + "/output", parts);                          // 384x35x35
+}
+
+ValueId reduction_a(ComputationGraph& g, ValueId in) {
+  g.set_stage("reduction_a");
+  const ValueId b1 = g.add_pool("reduction_a/pool", in, max_valid_s2());
+  const ValueId b2 = g.add_conv("reduction_a/3x3", in, conv_valid(384, 3, 3, 2));
+  ValueId b3 = g.add_conv("reduction_a/d3x3_reduce", in, conv_same(192, 1, 1));
+  b3 = g.add_conv("reduction_a/d3x3_a", b3, conv_same(224, 3, 3));
+  b3 = g.add_conv("reduction_a/d3x3_b", b3, conv_valid(256, 3, 3, 2));
+  std::array<ValueId, 3> parts{b1, b2, b3};
+  return g.add_concat("reduction_a/output", parts);                   // 1024x17x17
+}
+
+ValueId inception_b(ComputationGraph& g, int index, ValueId in) {
+  const std::string p = "inception_b" + std::to_string(index);
+  g.set_stage(p);
+  ValueId b1 = g.add_pool(p + "/pool", in, avg_same_s1());
+  b1 = g.add_conv(p + "/pool_proj", b1, conv_same(128, 1, 1));
+  const ValueId b2 = g.add_conv(p + "/1x1", in, conv_same(384, 1, 1));
+  ValueId b3 = g.add_conv(p + "/7x7_reduce", in, conv_same(192, 1, 1));
+  b3 = g.add_conv(p + "/1x7", b3, conv_same(224, 1, 7));
+  b3 = g.add_conv(p + "/7x1", b3, conv_same(256, 7, 1));
+  ValueId b4 = g.add_conv(p + "/d7x7_reduce", in, conv_same(192, 1, 1));
+  b4 = g.add_conv(p + "/d7x7_1x7a", b4, conv_same(192, 1, 7));
+  b4 = g.add_conv(p + "/d7x7_7x1a", b4, conv_same(224, 7, 1));
+  b4 = g.add_conv(p + "/d7x7_1x7b", b4, conv_same(224, 1, 7));
+  b4 = g.add_conv(p + "/d7x7_7x1b", b4, conv_same(256, 7, 1));
+  std::array<ValueId, 4> parts{b1, b2, b3, b4};
+  return g.add_concat(p + "/output", parts);                          // 1024x17x17
+}
+
+ValueId reduction_b(ComputationGraph& g, ValueId in) {
+  g.set_stage("reduction_b");
+  const ValueId b1 = g.add_pool("reduction_b/pool", in, max_valid_s2());
+  ValueId b2 = g.add_conv("reduction_b/3x3_reduce", in, conv_same(192, 1, 1));
+  b2 = g.add_conv("reduction_b/3x3", b2, conv_valid(192, 3, 3, 2));
+  ValueId b3 = g.add_conv("reduction_b/7x7_reduce", in, conv_same(256, 1, 1));
+  b3 = g.add_conv("reduction_b/1x7", b3, conv_same(256, 1, 7));
+  b3 = g.add_conv("reduction_b/7x1", b3, conv_same(320, 7, 1));
+  b3 = g.add_conv("reduction_b/d3x3", b3, conv_valid(320, 3, 3, 2));
+  std::array<ValueId, 3> parts{b1, b2, b3};
+  return g.add_concat("reduction_b/output", parts);                   // 1536x8x8
+}
+
+ValueId inception_c(ComputationGraph& g, int index, ValueId in) {
+  const std::string p = "inception_c" + std::to_string(index);
+  g.set_stage(p);
+  ValueId b1 = g.add_pool(p + "/pool", in, avg_same_s1());
+  b1 = g.add_conv(p + "/pool_proj", b1, conv_same(256, 1, 1));
+  const ValueId b2 = g.add_conv(p + "/1x1", in, conv_same(256, 1, 1));
+  const ValueId b3stem = g.add_conv(p + "/3x3_reduce", in, conv_same(384, 1, 1));
+  const ValueId b3a = g.add_conv(p + "/3x3_1x3", b3stem, conv_same(256, 1, 3));
+  const ValueId b3b = g.add_conv(p + "/3x3_3x1", b3stem, conv_same(256, 3, 1));
+  ValueId b4 = g.add_conv(p + "/d3x3_reduce", in, conv_same(384, 1, 1));
+  b4 = g.add_conv(p + "/d3x3_1x3", b4, conv_same(448, 1, 3));
+  b4 = g.add_conv(p + "/d3x3_3x1", b4, conv_same(512, 3, 1));
+  const ValueId b4a = g.add_conv(p + "/d3x3_out_3x1", b4, conv_same(256, 3, 1));
+  const ValueId b4b = g.add_conv(p + "/d3x3_out_1x3", b4, conv_same(256, 1, 3));
+  std::array<ValueId, 6> parts{b1, b2, b3a, b3b, b4a, b4b};
+  return g.add_concat(p + "/output", parts);                          // 1536x8x8
+}
+
+}  // namespace
+
+graph::ComputationGraph build_inception_v4() {
+  ComputationGraph g("inception_v4");
+  ValueId x = g.add_input("image", FeatureShape{3, 299, 299});
+  x = stem(g, x);
+  for (int i = 1; i <= 4; ++i) x = inception_a(g, i, x);
+  x = reduction_a(g, x);
+  for (int i = 1; i <= 7; ++i) x = inception_b(g, i, x);
+  x = reduction_b(g, x);
+  for (int i = 1; i <= 3; ++i) x = inception_c(g, i, x);
+  g.set_stage("head");
+  x = g.add_pool("global_pool", x, PoolParams{PoolType::kAvg, 8, 1, 0, /*global=*/true});
+  g.add_fc("classifier", x, 1000);
+  g.validate();
+  return g;
+}
+
+}  // namespace lcmm::models

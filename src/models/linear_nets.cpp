@@ -1,0 +1,57 @@
+#include "models/models.hpp"
+
+namespace lcmm::models {
+
+using graph::ComputationGraph;
+using graph::ConvParams;
+using graph::FeatureShape;
+using graph::PoolParams;
+using graph::PoolType;
+using graph::ValueId;
+
+graph::ComputationGraph build_alexnet() {
+  ComputationGraph g("alexnet");
+  g.set_stage("features");
+  ValueId x = g.add_input("image", FeatureShape{3, 227, 227});
+  x = g.add_conv("conv1", x, ConvParams{96, 11, 11, 4, 0, 0});
+  x = g.add_pool("pool1", x, PoolParams{PoolType::kMax, 3, 2, 0});
+  x = g.add_conv("conv2", x, ConvParams{256, 5, 5, 1, 2, 2});
+  x = g.add_pool("pool2", x, PoolParams{PoolType::kMax, 3, 2, 0});
+  x = g.add_conv("conv3", x, ConvParams{384, 3, 3, 1, 1, 1});
+  x = g.add_conv("conv4", x, ConvParams{384, 3, 3, 1, 1, 1});
+  x = g.add_conv("conv5", x, ConvParams{256, 3, 3, 1, 1, 1});
+  x = g.add_pool("pool5", x, PoolParams{PoolType::kMax, 3, 2, 0});
+  g.set_stage("classifier");
+  // The 6x6x256 activation collapses into the first FC layer, modelled as a
+  // 6x6 "valid" convolution producing a 1x1 map.
+  x = g.add_conv("fc6", x, ConvParams{4096, 6, 6, 1, 0, 0});
+  x = g.add_fc("fc7", x, 4096);
+  g.add_fc("fc8", x, 1000);
+  g.validate();
+  return g;
+}
+
+graph::ComputationGraph build_vgg16() {
+  ComputationGraph g("vgg16");
+  ValueId x = g.add_input("image", FeatureShape{3, 224, 224});
+  const int stage_channels[5] = {64, 128, 256, 512, 512};
+  const int stage_convs[5] = {2, 2, 3, 3, 3};
+  for (int s = 0; s < 5; ++s) {
+    const std::string stage = "conv" + std::to_string(s + 1);
+    g.set_stage(stage);
+    for (int c = 0; c < stage_convs[s]; ++c) {
+      x = g.add_conv(stage + "_" + std::to_string(c + 1), x,
+                     ConvParams{stage_channels[s], 3, 3, 1, 1, 1});
+    }
+    x = g.add_pool("pool" + std::to_string(s + 1), x,
+                   PoolParams{PoolType::kMax, 2, 2, 0});
+  }
+  g.set_stage("classifier");
+  x = g.add_conv("fc6", x, ConvParams{4096, 7, 7, 1, 0, 0});
+  x = g.add_fc("fc7", x, 4096);
+  g.add_fc("fc8", x, 1000);
+  g.validate();
+  return g;
+}
+
+}  // namespace lcmm::models

@@ -1,0 +1,90 @@
+#include <array>
+
+#include "models/models.hpp"
+
+namespace lcmm::models {
+
+using graph::ComputationGraph;
+using graph::ConvParams;
+using graph::FeatureShape;
+using graph::PoolParams;
+using graph::PoolType;
+using graph::ValueId;
+
+graph::ComputationGraph build_mobilenet_v1() {
+  ComputationGraph g("mobilenet_v1");
+  g.set_stage("conv1");
+  ValueId x = g.add_input("image", FeatureShape{3, 224, 224});
+  x = g.add_conv("conv1", x, ConvParams{32, 3, 3, 2, 1, 1});
+
+  // Depthwise-separable blocks: 3x3 depthwise + 1x1 pointwise.
+  struct Block {
+    int out_channels;
+    int stride;
+  };
+  static constexpr Block kBlocks[] = {
+      {64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},  {512, 2}, {512, 1},
+      {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1}};
+  int in_channels = 32;
+  int index = 0;
+  for (const Block& b : kBlocks) {
+    const std::string stage = "dws" + std::to_string(++index);
+    g.set_stage(stage);
+    ConvParams dw{in_channels, 3, 3, b.stride, 1, 1};
+    dw.groups = in_channels;  // depthwise
+    x = g.add_conv(stage + "/dw", x, dw);
+    x = g.add_conv(stage + "/pw", x, ConvParams{b.out_channels, 1, 1, 1, 0, 0});
+    in_channels = b.out_channels;
+  }
+
+  g.set_stage("head");
+  x = g.add_pool("global_pool", x, PoolParams{PoolType::kAvg, 7, 1, 0, true});
+  g.add_fc("fc1000", x, 1000);
+  g.validate();
+  return g;
+}
+
+namespace {
+
+/// SqueezeNet fire module: squeeze 1x1 then parallel expand 1x1/3x3 concat.
+ValueId fire(ComputationGraph& g, const std::string& name, ValueId in,
+             int squeeze, int expand) {
+  g.set_stage(name);
+  const ValueId s = g.add_conv(name + "/squeeze1x1", in,
+                               ConvParams{squeeze, 1, 1, 1, 0, 0});
+  const ValueId e1 = g.add_conv(name + "/expand1x1", s,
+                                ConvParams{expand, 1, 1, 1, 0, 0});
+  const ValueId e3 = g.add_conv(name + "/expand3x3", s,
+                                ConvParams{expand, 3, 3, 1, 1, 1});
+  const std::array<ValueId, 2> parts{e1, e3};
+  return g.add_concat(name + "/concat", parts);
+}
+
+}  // namespace
+
+graph::ComputationGraph build_squeezenet() {
+  // SqueezeNet v1.1 (the 1.1 variant pools earlier, which shrinks compute).
+  ComputationGraph g("squeezenet");
+  g.set_stage("conv1");
+  ValueId x = g.add_input("image", FeatureShape{3, 227, 227});
+  x = g.add_conv("conv1", x, ConvParams{64, 3, 3, 2, 0, 0});
+  x = g.add_pool("pool1", x, PoolParams{PoolType::kMax, 3, 2, 0});
+  x = fire(g, "fire2", x, 16, 64);
+  x = fire(g, "fire3", x, 16, 64);
+  x = g.add_pool("pool3", x, PoolParams{PoolType::kMax, 3, 2, 0});
+  x = fire(g, "fire4", x, 32, 128);
+  x = fire(g, "fire5", x, 32, 128);
+  x = g.add_pool("pool5", x, PoolParams{PoolType::kMax, 3, 2, 0});
+  x = fire(g, "fire6", x, 48, 192);
+  x = fire(g, "fire7", x, 48, 192);
+  x = fire(g, "fire8", x, 64, 256);
+  x = fire(g, "fire9", x, 64, 256);
+  g.set_stage("head");
+  // Classifier: 1x1 conv to 1000 maps then global average pooling.
+  x = g.add_conv("conv10", x, ConvParams{1000, 1, 1, 1, 0, 0});
+  g.add_pool("global_pool", x, PoolParams{PoolType::kAvg, 13, 1, 0, true});
+  g.validate();
+  return g;
+}
+
+}  // namespace lcmm::models

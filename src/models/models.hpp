@@ -1,0 +1,65 @@
+// Layer-exact builders for the DNN models evaluated in the paper (§4):
+// ResNet-152 (RN), GoogLeNet (GN) and Inception-v4 (IN), plus ResNet-50
+// (used by the Table 3 comparison against Cloud-DNN) and two linear
+// baselines (AlexNet, VGG-16) for tests and examples.
+//
+// All builders tag layers with stage labels ("inception_3a", "res4b7", ...)
+// so the per-block analyses of Fig. 2(b) and Fig. 8 can group them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcmm::models {
+
+/// ResNet v1 with bottleneck blocks. Supported depths: 50, 101, 152.
+graph::ComputationGraph build_resnet(int depth);
+
+/// GoogLeNet / Inception-v1 (the 9 inception blocks 3a..5b).
+graph::ComputationGraph build_googlenet();
+
+/// Inception-v4 (stem + 4xA + reduction-A + 7xB + reduction-B + 3xC);
+/// exactly 14 inception blocks as the paper's design-space analysis uses.
+graph::ComputationGraph build_inception_v4();
+
+/// Linear baselines with no branching (the "simple networks" of the
+/// paper's introduction).
+graph::ComputationGraph build_alexnet();
+graph::ComputationGraph build_vgg16();
+
+/// MobileNet-v1 (depthwise-separable convolutions; extremely bandwidth
+/// bound on channel-vectorized arrays — a strong LCMM showcase).
+graph::ComputationGraph build_mobilenet_v1();
+
+/// SqueezeNet v1.1 (fire modules: squeeze 1x1 + parallel expand concat).
+graph::ComputationGraph build_squeezenet();
+
+/// The six-convolution snippet of block inception_c1 that the paper's
+/// Fig. 3 walks through: one input value consumed by three branch convs
+/// (the f1/f2/f4 tensors that "actually contain the same data"), plus two
+/// stacked convs and a concatenation.
+graph::ComputationGraph build_inception_c1_snippet();
+
+/// Deterministic random DAG generator (chains, strided downsampling,
+/// pooling and inception-style branch/concat blocks), used by the property
+/// tests and the random-graph stress bench.
+struct RandomGraphOptions {
+  int min_layers = 4;
+  int max_layers = 13;
+  int min_extent = 16;  // input spatial extent range (stepped by 4)
+  int max_extent = 44;
+};
+graph::ComputationGraph random_graph(std::uint64_t seed,
+                                     const RandomGraphOptions& options = {});
+
+/// Builds a model by canonical name (see model_names()).
+/// Throws std::invalid_argument for unknown names.
+graph::ComputationGraph build_by_name(const std::string& name);
+
+/// Names accepted by build_by_name().
+std::vector<std::string> model_names();
+
+}  // namespace lcmm::models

@@ -1,0 +1,47 @@
+#include "models/models.hpp"
+#include "util/rng.hpp"
+
+namespace lcmm::models {
+
+graph::ComputationGraph random_graph(std::uint64_t seed,
+                                     const RandomGraphOptions& options) {
+  util::Rng rng(seed);
+  graph::ComputationGraph g("random_" + std::to_string(seed));
+  int h = options.min_extent +
+          4 * static_cast<int>(rng.next_below(
+                  static_cast<std::uint64_t>(
+                      (options.max_extent - options.min_extent) / 4 + 1)));
+  const int c0 = 16 << rng.next_below(3);
+  graph::ValueId x = g.add_input("in", {c0, h, h});
+  const int steps =
+      options.min_layers +
+      static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+          options.max_layers - options.min_layers + 1)));
+  int id = 0;
+  for (int s = 0; s < steps; ++s) {
+    const auto roll = rng.next_below(10);
+    const std::string n = "l" + std::to_string(id++);
+    const int out_c = 16 << rng.next_below(4);
+    if (roll < 5) {  // plain conv, occasionally strided
+      const int k = rng.next_bool(0.5) ? 1 : 3;
+      const int stride = (h >= 8 && rng.next_bool(0.2)) ? 2 : 1;
+      x = g.add_conv(n, x, {out_c, k, k, stride, k / 2, k / 2, 1});
+    } else if (roll < 7 && h >= 4) {  // pool
+      x = g.add_pool(n, x, {graph::PoolType::kMax, 2, 2, 0});
+    } else {  // branch + concat
+      const int branches = 2 + static_cast<int>(rng.next_below(2));
+      std::vector<graph::ValueId> parts;
+      for (int b = 0; b < branches; ++b) {
+        const int k = rng.next_bool(0.5) ? 1 : 3;
+        parts.push_back(g.add_conv(n + "_b" + std::to_string(b), x,
+                                   {out_c / 2 + 8, k, k, 1, k / 2, k / 2, 1}));
+      }
+      x = g.add_concat(n + "_cat", parts);
+    }
+    h = g.value(x).shape.height;
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace lcmm::models

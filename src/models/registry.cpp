@@ -1,0 +1,29 @@
+#include <stdexcept>
+
+#include "models/models.hpp"
+
+namespace lcmm::models {
+
+graph::ComputationGraph build_by_name(const std::string& name) {
+  if (name == "resnet18") return build_resnet(18);
+  if (name == "resnet34") return build_resnet(34);
+  if (name == "resnet50") return build_resnet(50);
+  if (name == "resnet101") return build_resnet(101);
+  if (name == "resnet152") return build_resnet(152);
+  if (name == "googlenet") return build_googlenet();
+  if (name == "inception_v4") return build_inception_v4();
+  if (name == "alexnet") return build_alexnet();
+  if (name == "vgg16") return build_vgg16();
+  if (name == "mobilenet_v1") return build_mobilenet_v1();
+  if (name == "squeezenet") return build_squeezenet();
+  throw std::invalid_argument("unknown model '" + name + "'");
+}
+
+std::vector<std::string> model_names() {
+  return {"resnet18",     "resnet34",  "resnet50",     "resnet101",
+          "resnet152",    "googlenet",
+          "inception_v4", "alexnet",   "vgg16",        "mobilenet_v1",
+          "squeezenet"};
+}
+
+}  // namespace lcmm::models

@@ -1,0 +1,100 @@
+#include <stdexcept>
+
+#include "models/models.hpp"
+
+namespace lcmm::models {
+
+using graph::ComputationGraph;
+using graph::ConvParams;
+using graph::FeatureShape;
+using graph::PoolParams;
+using graph::PoolType;
+using graph::ValueId;
+
+namespace {
+
+/// One bottleneck residual block: 1x1/s -> 3x3 -> 1x1(4c) with the shortcut
+/// add fused into the final 1x1 conv. The first block of each stage uses a
+/// projection shortcut (1x1/s conv); later blocks use the identity.
+ValueId bottleneck(ComputationGraph& g, const std::string& name, ValueId in,
+                   int mid_channels, int stride, bool project) {
+  const int out_channels = mid_channels * 4;
+  ValueId shortcut = in;
+  if (project) {
+    shortcut = g.add_conv(name + "_proj",
+                          in, ConvParams{out_channels, 1, 1, stride, 0, 0});
+  }
+  ValueId x = g.add_conv(name + "_1x1a", in,
+                         ConvParams{mid_channels, 1, 1, stride, 0, 0});
+  x = g.add_conv(name + "_3x3", x, ConvParams{mid_channels, 3, 3, 1, 1, 1});
+  return g.add_conv(name + "_1x1b", x, ConvParams{out_channels, 1, 1, 1, 0, 0},
+                    /*residual=*/shortcut);
+}
+
+/// Basic residual block (ResNet-18/34): two 3x3 convs, shortcut fused into
+/// the second.
+ValueId basic_block(ComputationGraph& g, const std::string& name, ValueId in,
+                    int channels, int stride, bool project) {
+  ValueId shortcut = in;
+  if (project) {
+    shortcut = g.add_conv(name + "_proj", in,
+                          ConvParams{channels, 1, 1, stride, 0, 0});
+  }
+  ValueId x = g.add_conv(name + "_3x3a", in,
+                         ConvParams{channels, 3, 3, stride, 1, 1});
+  return g.add_conv(name + "_3x3b", x, ConvParams{channels, 3, 3, 1, 1, 1},
+                    /*residual=*/shortcut);
+}
+
+}  // namespace
+
+graph::ComputationGraph build_resnet(int depth) {
+  int blocks[4];
+  bool bottlenecks = true;
+  switch (depth) {
+    case 18: blocks[0] = 2; blocks[1] = 2; blocks[2] = 2; blocks[3] = 2;
+             bottlenecks = false; break;
+    case 34: blocks[0] = 3; blocks[1] = 4; blocks[2] = 6; blocks[3] = 3;
+             bottlenecks = false; break;
+    case 50: blocks[0] = 3; blocks[1] = 4; blocks[2] = 6; blocks[3] = 3; break;
+    case 101: blocks[0] = 3; blocks[1] = 4; blocks[2] = 23; blocks[3] = 3; break;
+    case 152: blocks[0] = 3; blocks[1] = 8; blocks[2] = 36; blocks[3] = 3; break;
+    default:
+      throw std::invalid_argument("build_resnet: unsupported depth " +
+                                  std::to_string(depth));
+  }
+  ComputationGraph g("resnet" + std::to_string(depth));
+  g.set_stage("conv1");
+  ValueId x = g.add_input("image", FeatureShape{3, 224, 224});
+  x = g.add_conv("conv1", x, ConvParams{64, 7, 7, 2, 3, 3});
+  x = g.add_pool("pool1", x, PoolParams{PoolType::kMax, 3, 2, 1});
+
+  const int mids[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const std::string name =
+          "res" + std::to_string(stage + 2) +
+          (blocks[stage] > 8 ? "b" + std::to_string(b)
+                             : std::string(1, static_cast<char>('a' + b)));
+      g.set_stage(name);
+      // Downsampling happens at the first block of stages 3..5.
+      const int stride = (stage > 0 && b == 0) ? 2 : 1;
+      if (bottlenecks) {
+        x = bottleneck(g, name, x, mids[stage], stride, /*project=*/b == 0);
+      } else {
+        // Basic blocks only project when the shape changes (stage entry
+        // with stride or channel growth); conv2_x keeps the identity.
+        const bool project = b == 0 && stage > 0;
+        x = basic_block(g, name, x, mids[stage], stride, project);
+      }
+    }
+  }
+
+  g.set_stage("head");
+  x = g.add_pool("pool5", x, PoolParams{PoolType::kAvg, 7, 1, 0, /*global=*/true});
+  g.add_fc("fc1000", x, 1000);
+  g.validate();
+  return g;
+}
+
+}  // namespace lcmm::models

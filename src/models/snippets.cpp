@@ -1,0 +1,35 @@
+#include <array>
+
+#include "models/models.hpp"
+
+namespace lcmm::models {
+
+using graph::ComputationGraph;
+using graph::ConvParams;
+using graph::FeatureShape;
+using graph::ValueId;
+
+graph::ComputationGraph build_inception_c1_snippet() {
+  ComputationGraph g("inception_c1_snippet");
+  g.set_stage("inception_c1");
+  // The block input: output of reduction-B, 1536 channels at 8x8.
+  const ValueId in = g.add_input("block_in", FeatureShape{1536, 8, 8});
+  // C1: plain 1x1 branch.
+  const ValueId c1 = g.add_conv("C1", in, ConvParams{256, 1, 1, 1, 0, 0});
+  // C2 -> C3: 1x1 reduce feeding a 1x3 conv.
+  const ValueId c2 = g.add_conv("C2", in, ConvParams{384, 1, 1, 1, 0, 0});
+  const ValueId c3 = g.add_conv("C3", c2, ConvParams{256, 1, 3, 1, 0, 1});
+  // C4 -> C5 -> C6: 1x1 reduce feeding stacked asymmetric convs.
+  const ValueId c4 = g.add_conv("C4", in, ConvParams{384, 1, 1, 1, 0, 0});
+  const ValueId c5 = g.add_conv("C5", c4, ConvParams{448, 1, 3, 1, 0, 1});
+  const ValueId c6 = g.add_conv("C6", c5, ConvParams{256, 3, 1, 1, 1, 0});
+  const std::array<ValueId, 3> parts{c1, c3, c6};
+  const ValueId out = g.add_concat("block_out", parts);
+  // A consumer for the concatenated value so the output lifespans extend
+  // past the block, as they do inside the full network.
+  g.add_conv("next", out, ConvParams{256, 1, 1, 1, 0, 0});
+  g.validate();
+  return g;
+}
+
+}  // namespace lcmm::models

@@ -1,0 +1,73 @@
+#include "sim/chrome_trace.hpp"
+
+#include <fstream>
+
+#include "util/json.hpp"
+
+namespace lcmm::sim {
+
+namespace {
+constexpr int kComputeTrack = 0;
+constexpr int kIfTrack = 1;
+constexpr int kWtTrack = 2;
+constexpr int kOfTrack = 3;
+constexpr int kStallTrack = 4;
+
+void emit(util::Json& events, const std::string& name, int tid,
+          double start_s, double dur_s) {
+  if (dur_s <= 0.0) return;
+  util::Json e = util::Json::object();
+  e["name"] = name;
+  e["ph"] = "X";
+  e["pid"] = 0;
+  e["tid"] = tid;
+  e["ts"] = start_s * 1e6;   // microseconds
+  e["dur"] = dur_s * 1e6;
+  events.push(std::move(e));
+}
+}  // namespace
+
+std::string to_chrome_trace(const graph::ComputationGraph& graph,
+                            const SimResult& sim) {
+  util::Json events = util::Json::array();
+  // Track name metadata.
+  const std::pair<int, const char*> tracks[] = {
+      {kComputeTrack, "PE array"},   {kIfTrack, "DRAM: input features"},
+      {kWtTrack, "DRAM: weights"},   {kOfTrack, "DRAM: output features"},
+      {kStallTrack, "prefetch stalls"}};
+  for (const auto& [tid, name] : tracks) {
+    util::Json meta = util::Json::object();
+    meta["name"] = "thread_name";
+    meta["ph"] = "M";
+    meta["pid"] = 0;
+    meta["tid"] = tid;
+    util::Json args = util::Json::object();
+    args["name"] = name;
+    meta["args"] = std::move(args);
+    events.push(std::move(meta));
+  }
+  for (const LayerExecution& e : sim.layers) {
+    const std::string& name = graph.layer(e.layer).name;
+    emit(events, name, kComputeTrack, e.start_s, e.compute_s);
+    emit(events, name + ".if", kIfTrack, e.start_s, e.if_s);
+    emit(events, name + ".wt", kWtTrack, e.start_s, e.wt_s);
+    emit(events, name + ".of", kOfTrack, e.start_s, e.of_s);
+    emit(events, name + ".stall", kStallTrack, e.start_s - e.stall_s,
+         e.stall_s);
+  }
+  util::Json root = util::Json::object();
+  root["traceEvents"] = std::move(events);
+  root["displayTimeUnit"] = "ms";
+  return root.dump(-1);
+}
+
+void write_chrome_trace(const graph::ComputationGraph& graph,
+                        const SimResult& sim, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  out << to_chrome_trace(graph, sim);
+}
+
+}  // namespace lcmm::sim

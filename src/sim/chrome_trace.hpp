@@ -1,0 +1,21 @@
+// Chrome trace-event export of a simulated timeline: open the file in
+// chrome://tracing or https://ui.perfetto.dev to see per-layer compute and
+// the three DRAM streams as parallel tracks, stalls included.
+#pragma once
+
+#include <string>
+
+#include "sim/timeline.hpp"
+
+namespace lcmm::sim {
+
+/// Renders the simulation as Trace Event Format JSON (complete events).
+/// Tracks: compute, IF stream, WT stream, OF stream, prefetch stalls.
+std::string to_chrome_trace(const graph::ComputationGraph& graph,
+                            const SimResult& sim);
+
+/// Writes to a file; throws std::runtime_error when the path is unwritable.
+void write_chrome_trace(const graph::ComputationGraph& graph,
+                        const SimResult& sim, const std::string& path);
+
+}  // namespace lcmm::sim

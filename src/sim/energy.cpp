@@ -1,0 +1,58 @@
+#include "sim/energy.hpp"
+
+#include <stdexcept>
+
+namespace lcmm::sim {
+
+double EnergyModelOptions::mac_pj(hw::Precision p) const {
+  switch (p) {
+    case hw::Precision::kInt8: return mac_pj_int8;
+    case hw::Precision::kInt16: return mac_pj_int16;
+    case hw::Precision::kFp32: return mac_pj_fp32;
+  }
+  return 0.0;
+}
+
+EnergyReport estimate_energy(const graph::ComputationGraph& graph,
+                             const core::AllocationPlan& plan,
+                             const SimResult& sim,
+                             const EnergyModelOptions& options) {
+  if (plan.state.num_layers() != graph.num_layers()) {
+    throw std::invalid_argument("estimate_energy: plan does not match graph");
+  }
+  hw::PerfModel model(graph, plan.design);
+  const int bpe = hw::bytes_per_elem(plan.design.precision);
+
+  EnergyReport report;
+  double sram_bytes = 0.0;
+  double macs = 0.0;
+  for (const graph::Layer& layer : graph.layers()) {
+    const hw::LayerTiming& t = model.timing(layer.id);
+    const std::uint8_t mask = plan.state.layer_mask(layer.id);
+    const auto on = [&](core::TensorSource s) {
+      return (mask >> static_cast<int>(s)) & 1u;
+    };
+    // Off-chip streams that remain after allocation.
+    if (!on(core::TensorSource::kInput)) report.dram_bytes += t.if_bytes;
+    if (!on(core::TensorSource::kResidual)) report.dram_bytes += t.res_bytes;
+    if (!on(core::TensorSource::kWeight)) report.dram_bytes += t.wt_bytes;
+    if (!on(core::TensorSource::kOutput)) report.dram_bytes += t.of_bytes;
+    // Non-resident on-chip weights are re-streamed once per image.
+    if (on(core::TensorSource::kWeight) &&
+        !plan.weight_is_resident(layer.id)) {
+      report.dram_bytes +=
+          static_cast<double>(graph.layer_weight_elems(layer.id)) * bpe;
+    }
+    // Every operand is staged through SRAM regardless of its home.
+    sram_bytes += t.if_bytes + t.res_bytes + t.wt_bytes + t.of_bytes;
+    macs += static_cast<double>(t.nominal_macs);
+  }
+
+  report.dram_mj = report.dram_bytes * options.dram_pj_per_byte * 1e-9;
+  report.sram_mj = sram_bytes * options.sram_pj_per_byte * 1e-9;
+  report.compute_mj = macs * options.mac_pj(plan.design.precision) * 1e-9;
+  report.static_mj = options.static_watts * sim.total_s * 1e3;
+  return report;
+}
+
+}  // namespace lcmm::sim

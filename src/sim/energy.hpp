@@ -1,0 +1,52 @@
+// First-order energy model (extension beyond the paper's evaluation).
+//
+// LCMM's whole effect is replacing DRAM traffic with on-chip accesses, and
+// DRAM bytes cost two orders of magnitude more energy than SRAM bytes, so
+// the latency optimization doubles as an energy optimization. The model
+// charges:
+//   * DRAM energy per byte actually moved off-chip (post-allocation
+//     streams + non-resident weight prefetch loads),
+//   * SRAM energy per byte entering/leaving the PE array (every operand is
+//     staged through on-chip memory regardless of its home),
+//   * compute energy per MAC (precision dependent),
+//   * static power over the execution time.
+// Constants are typical published 16 nm FPGA/DDR4 figures and are knobs.
+#pragma once
+
+#include "core/lcmm.hpp"
+#include "sim/timeline.hpp"
+
+namespace lcmm::sim {
+
+struct EnergyModelOptions {
+  double dram_pj_per_byte = 160.0;  // DDR4 incl. PHY + controller
+  double sram_pj_per_byte = 1.5;    // BRAM/URAM access
+  double mac_pj_int8 = 0.3;
+  double mac_pj_int16 = 0.8;
+  double mac_pj_fp32 = 4.5;
+  double static_watts = 12.0;       // shell, clocks, leakage
+
+  double mac_pj(hw::Precision p) const;
+};
+
+struct EnergyReport {
+  double dram_mj = 0.0;     // millijoules per image
+  double sram_mj = 0.0;
+  double compute_mj = 0.0;
+  double static_mj = 0.0;
+  double dram_bytes = 0.0;  // off-chip bytes actually moved
+
+  double total_mj() const { return dram_mj + sram_mj + compute_mj + static_mj; }
+  /// Energy efficiency in Gops/J for the given nominal work.
+  double gops_per_joule(double nominal_ops) const {
+    return total_mj() > 0 ? nominal_ops / (total_mj() * 1e-3) / 1e9 : 0.0;
+  }
+};
+
+/// Estimates the per-image energy of an executed plan.
+EnergyReport estimate_energy(const graph::ComputationGraph& graph,
+                             const core::AllocationPlan& plan,
+                             const SimResult& sim,
+                             const EnergyModelOptions& options = {});
+
+}  // namespace lcmm::sim

@@ -1,0 +1,41 @@
+// Memory footprint trace (paper Fig. 3): where every tensor lives (on-chip
+// tensor buffer vs off-chip DRAM) and for how long, against the simulated
+// execution timeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/lcmm.hpp"
+#include "sim/timeline.hpp"
+
+namespace lcmm::sim {
+
+struct TensorResidency {
+  std::string name;
+  core::TensorKey key;
+  bool on_chip = false;
+  int virtual_buffer = -1;  // -1 when spilled / not an allocation candidate
+  std::int64_t bytes = 0;
+  int start_step = 0;
+  int end_step = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct MemoryTrace {
+  std::vector<TensorResidency> records;
+  /// Static on-chip footprint: tile buffers + allocated tensor buffers.
+  std::int64_t on_chip_bytes = 0;
+  std::int64_t device_sram_bytes = 0;
+
+  /// Text Gantt chart of tensor residencies over execution steps
+  /// ('#' on-chip, '.' off-chip).
+  std::string ascii_gantt(std::size_t max_rows = 32, int width = 64) const;
+};
+
+MemoryTrace build_memory_trace(const graph::ComputationGraph& graph,
+                               const core::AllocationPlan& plan,
+                               const SimResult& sim);
+
+}  // namespace lcmm::sim

@@ -1,0 +1,43 @@
+// Tile-level event-driven simulator.
+//
+// The analytical model (hw::PerfModel) applies Eq. 1 at layer granularity:
+// latency = max(compute, per-stream transfer totals), assuming perfect
+// double buffering. This simulator executes the actual tile schedule of the
+// Fig. 1 loop nest — every (m, h, w, c) tile becomes load-IF / load-WT /
+// compute / store-OF events on four contended resources with a two-deep
+// (ping-pong) buffer dependence pattern — and therefore measures the
+// pipeline fill, drain and coupling effects the closed form ignores.
+//
+// Its role is cross-validation: tests assert the two models agree within a
+// small tolerance on real layers, which is what justifies using the fast
+// closed form inside the DNNK/DSE loops.
+#pragma once
+
+#include "core/entity.hpp"
+#include "hw/perf_model.hpp"
+
+namespace lcmm::sim {
+
+struct TileSimResult {
+  double latency_s = 0.0;
+  std::int64_t num_tiles = 0;
+  /// Busy time per resource, for utilization analysis.
+  double compute_busy_s = 0.0;
+  double if_busy_s = 0.0;
+  double wt_busy_s = 0.0;
+  double of_busy_s = 0.0;
+};
+
+/// Simulates one layer's tile schedule under the per-source on-chip mask
+/// (bit k == TensorSource k has an on-chip tensor buffer, so its DRAM
+/// stream disappears).
+TileSimResult simulate_layer_tiles(const hw::PerfModel& model,
+                                   graph::LayerId layer,
+                                   std::uint8_t on_chip_mask = 0);
+
+/// Sum of per-layer tile simulations over the whole graph (no inter-layer
+/// overlap, matching the sequential execution of the timeline simulator).
+double tile_sim_total_latency(const hw::PerfModel& model,
+                              const core::OnChipState& state);
+
+}  // namespace lcmm::sim

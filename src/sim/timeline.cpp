@@ -1,0 +1,194 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/latency_tables.hpp"
+
+namespace lcmm::sim {
+
+namespace {
+
+struct PrefetchRequest {
+  graph::LayerId target = graph::kInvalidLayer;
+  std::int64_t target_abs = 0;  // absolute step across the image stream
+  std::int64_t start_abs = 0;   // earliest absolute step the load may begin
+  double remaining_s = 0.0;
+};
+
+bool bit(std::uint8_t mask, core::TensorSource s) {
+  return (mask >> static_cast<int>(s)) & 1u;
+}
+
+struct TimelineOutput {
+  std::vector<LayerExecution> layers;  // all images, execution order
+  double total_s = 0.0;
+  double total_stall_s = 0.0;
+  double hidden_prefetch_s = 0.0;
+  std::vector<double> image_end_s;  // per image
+};
+
+/// Core timeline over `images` back-to-back inferences. Weight prefetches
+/// are granted the leftover weight-stream bandwidth of the layers inside
+/// their window, earliest target first; for image k > 0 a window that the
+/// paper's backtrace could not fit (start == kBeforeExecution) extends
+/// into image k-1.
+TimelineOutput run_timeline(const graph::ComputationGraph& graph,
+                            const core::AllocationPlan& plan,
+                            const hw::PerfModel& model, int images) {
+  const std::vector<graph::LayerId>& order = graph.topo_order();
+  const std::int64_t steps = static_cast<std::int64_t>(order.size());
+
+  std::vector<PrefetchRequest> requests;
+  for (int img = 0; img < images; ++img) {
+    const std::int64_t base = static_cast<std::int64_t>(img) * steps;
+    for (const graph::Layer& layer : graph.layers()) {
+      if (!plan.state.is_on({layer.id, core::TensorSource::kWeight})) continue;
+      // Resident weights are persistent: loaded once before the stream.
+      if (plan.weight_is_resident(layer.id)) continue;
+      PrefetchRequest r;
+      r.target = layer.id;
+      r.target_abs = base + graph.step_of(layer.id);
+      double load = 0.0;
+      int start_step = core::kBeforeExecution;
+      if (const core::PrefetchEdge* edge = plan.prefetch.edge_for(layer.id)) {
+        start_step = edge->start_step;
+        load = edge->load_seconds;
+      } else {
+        load = model.ddr().transfer_seconds(
+            static_cast<double>(graph.layer_weight_elems(layer.id)) *
+                hw::bytes_per_elem(plan.design.precision),
+            4096.0);
+      }
+      if (start_step == core::kBeforeExecution) {
+        // The window does not fit inside one image: extend into the
+        // previous one (or clamp to the stream start for the first image).
+        r.start_abs = std::max<std::int64_t>(0, base - steps);
+      } else {
+        r.start_abs = base + start_step;
+      }
+      r.remaining_s = load;
+      requests.push_back(r);
+    }
+  }
+  std::sort(requests.begin(), requests.end(),
+            [](const PrefetchRequest& a, const PrefetchRequest& b) {
+              return a.target_abs < b.target_abs;
+            });
+
+  TimelineOutput out;
+  out.image_end_s.resize(static_cast<std::size_t>(images), 0.0);
+  double t = 0.0;
+  for (std::int64_t abs = 0; abs < steps * images; ++abs) {
+    const graph::LayerId id = order[static_cast<std::size_t>(abs % steps)];
+    const hw::LayerTiming& timing = model.timing(id);
+    const std::uint8_t mask = plan.state.layer_mask(id);
+
+    LayerExecution exec;
+    exec.layer = id;
+    exec.compute_s = timing.compute_s;
+    exec.if_s = (bit(mask, core::TensorSource::kInput) ? 0.0 : timing.if_s) +
+                (bit(mask, core::TensorSource::kResidual) ? 0.0 : timing.res_s);
+    exec.wt_s = bit(mask, core::TensorSource::kWeight) ? 0.0 : timing.wt_s;
+    exec.of_s = bit(mask, core::TensorSource::kOutput) ? 0.0 : timing.of_s;
+    const double base =
+        std::max({exec.compute_s, exec.if_s, exec.wt_s, exec.of_s});
+
+    // Prefetches targeting this step must have completed; the remainder
+    // stalls the layer while the weight stream finishes the load.
+    for (PrefetchRequest& r : requests) {
+      if (r.target_abs == abs && r.remaining_s > 0.0) {
+        exec.stall_s += r.remaining_s;
+        r.remaining_s = 0.0;
+      }
+    }
+
+    exec.start_s = t + exec.stall_s;
+    exec.end_s = exec.start_s + base;
+    out.total_stall_s += exec.stall_s;
+
+    // Grant this layer's leftover weight-stream time to in-window
+    // prefetches, earliest target first. (Stall time is excluded: the
+    // stream spends it finishing this layer's own late load.)
+    double free_wt = std::max(0.0, base - exec.wt_s);
+    for (PrefetchRequest& r : requests) {
+      if (free_wt <= 0.0) break;
+      if (r.remaining_s <= 0.0) continue;
+      if (r.target_abs <= abs) continue;
+      if (r.start_abs > abs) continue;
+      const double granted = std::min(free_wt, r.remaining_s);
+      r.remaining_s -= granted;
+      free_wt -= granted;
+      out.hidden_prefetch_s += granted;
+    }
+
+    t = exec.end_s;
+    if ((abs + 1) % steps == 0) {
+      out.image_end_s[static_cast<std::size_t>(abs / steps)] = t;
+    }
+    out.layers.push_back(exec);
+  }
+  out.total_s = t;
+  return out;
+}
+
+}  // namespace
+
+SimResult simulate(const graph::ComputationGraph& graph,
+                   const core::AllocationPlan& plan) {
+  if (plan.state.num_layers() != graph.num_layers()) {
+    throw std::invalid_argument("simulate: plan does not match graph");
+  }
+  hw::PerfModel model(graph, plan.design);
+  TimelineOutput out = run_timeline(graph, plan, model, 1);
+  SimResult result;
+  result.total_s = out.total_s;
+  result.total_stall_s = out.total_stall_s;
+  result.hidden_prefetch_s = out.hidden_prefetch_s;
+  result.layers = std::move(out.layers);
+  return result;
+}
+
+StreamResult simulate_stream(const graph::ComputationGraph& graph,
+                             const core::AllocationPlan& plan, int images) {
+  if (plan.state.num_layers() != graph.num_layers()) {
+    throw std::invalid_argument("simulate_stream: plan does not match graph");
+  }
+  if (images < 1) throw std::invalid_argument("simulate_stream: images < 1");
+  hw::PerfModel model(graph, plan.design);
+  const TimelineOutput out = run_timeline(graph, plan, model, images);
+  StreamResult result;
+  result.images = images;
+  result.total_s = out.total_s;
+  result.total_stall_s = out.total_stall_s;
+  result.first_image_s = out.image_end_s.front();
+  result.steady_image_s =
+      images == 1 ? out.image_end_s.front()
+                  : out.image_end_s[static_cast<std::size_t>(images - 1)] -
+                        out.image_end_s[static_cast<std::size_t>(images - 2)];
+  return result;
+}
+
+SimResult refine_against_stalls(const graph::ComputationGraph& graph,
+                                core::AllocationPlan& plan, int max_rounds) {
+  hw::PerfModel model(graph, plan.design);
+  SimResult sim = simulate(graph, plan);
+  for (int round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    for (const LayerExecution& exec : sim.layers) {
+      if (exec.stall_s <= 0.0) continue;
+      const double umm = model.timing(exec.layer).umm_latency();
+      if (exec.latency_s() + exec.stall_s > umm &&
+          plan.state.is_on({exec.layer, core::TensorSource::kWeight})) {
+        plan.state.set({exec.layer, core::TensorSource::kWeight}, false);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    sim = simulate(graph, plan);
+  }
+  plan.est_latency_s = sim.total_s;
+  return sim;
+}
+
+}  // namespace lcmm::sim

@@ -1,0 +1,74 @@
+// Timeline simulator: executes an AllocationPlan layer by layer.
+//
+// Per layer, compute and the three DRAM streams overlap via double
+// buffering (Eq. 1); on-chip tensors drop their stream terms. Weight
+// prefetches are scheduled against the *leftover* weight-stream bandwidth
+// of the layers inside their prefetch window, in target order; whatever
+// has not arrived when the target layer starts becomes a stall. This is
+// where the paper's "weight loading could be hidden by the execution of
+// the nodes before Ck" is actually tested rather than assumed.
+#pragma once
+
+#include <vector>
+
+#include "core/lcmm.hpp"
+
+namespace lcmm::sim {
+
+struct LayerExecution {
+  graph::LayerId layer = graph::kInvalidLayer;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  /// Charged (post-allocation) latency terms.
+  double compute_s = 0.0;
+  double if_s = 0.0;  // input + residual streams still off-chip
+  double wt_s = 0.0;
+  double of_s = 0.0;
+  /// Prefetch stall paid before this layer could start.
+  double stall_s = 0.0;
+
+  double latency_s() const { return end_s - start_s; }
+};
+
+struct SimResult {
+  double total_s = 0.0;
+  double total_stall_s = 0.0;
+  /// In execution order.
+  std::vector<LayerExecution> layers;
+  /// Prefetch bandwidth-time that was successfully hidden.
+  double hidden_prefetch_s = 0.0;
+};
+
+/// Simulates `plan` on `graph`. The plan must have been produced for the
+/// same graph (checked via layer count).
+SimResult simulate(const graph::ComputationGraph& graph,
+                   const core::AllocationPlan& plan);
+
+/// Steady-state streaming execution of `images` back-to-back inferences.
+/// Prefetches for image k may start during image k-1 (weights are the same
+/// every inference), so stalls that hit the first image's early layers
+/// disappear in steady state — the paper's "weights could be reused for
+/// multiple instances of inference".
+struct StreamResult {
+  int images = 0;
+  double total_s = 0.0;
+  double first_image_s = 0.0;
+  /// Per-image latency once the pipeline has warmed up (last image).
+  double steady_image_s = 0.0;
+  double total_stall_s = 0.0;
+  double throughput_images_per_s() const {
+    return total_s > 0 ? images / total_s : 0.0;
+  }
+};
+
+StreamResult simulate_stream(const graph::ComputationGraph& graph,
+                             const core::AllocationPlan& plan, int images);
+
+/// Post-pass: demotes on-chip weight tensors whose prefetch stalls make the
+/// layer slower than its UMM latency (rare; early layers with no window),
+/// re-simulating until stable. Returns the final simulation.
+SimResult refine_against_stalls(const graph::ComputationGraph& graph,
+                                core::AllocationPlan& plan,
+                                int max_rounds = 4);
+
+}  // namespace lcmm::sim

@@ -1,0 +1,118 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lcmm::util {
+
+Json& Json::operator[](const std::string& key) {
+  if (!is_object()) throw std::logic_error("Json: operator[] on a non-object");
+  return std::get<Object>(value_)[key];
+}
+
+Json& Json::push(Json value) {
+  if (!is_array()) throw std::logic_error("Json: push on a non-array");
+  std::get<Array>(value_).push_back(std::move(value));
+  return std::get<Array>(value_).back();
+}
+
+std::size_t Json::size() const {
+  if (is_object()) return std::get<Object>(value_).size();
+  if (is_array()) return std::get<Array>(value_).size();
+  return 0;
+}
+
+namespace {
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  struct Visitor {
+    std::string& out;
+    int indent;
+    int depth;
+    void operator()(std::nullptr_t) const { out += "null"; }
+    void operator()(bool b) const { out += b ? "true" : "false"; }
+    void operator()(std::int64_t v) const { out += std::to_string(v); }
+    void operator()(double v) const {
+      if (!std::isfinite(v)) {
+        out += "null";  // JSON has no Inf/NaN
+        return;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.12g", v);
+      out += buf;
+    }
+    void operator()(const std::string& s) const { write_escaped(out, s); }
+    void operator()(const Array& a) const {
+      if (a.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const Json& item : a) {
+        if (!first) out += ',';
+        first = false;
+        newline(out, indent, depth + 1);
+        item.write(out, indent, depth + 1);
+      }
+      newline(out, indent, depth);
+      out += ']';
+    }
+    void operator()(const Object& o) const {
+      if (o.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : o) {
+        if (!first) out += ',';
+        first = false;
+        newline(out, indent, depth + 1);
+        write_escaped(out, key);
+        out += indent < 0 ? ":" : ": ";
+        value.write(out, indent, depth + 1);
+      }
+      newline(out, indent, depth);
+      out += '}';
+    }
+  };
+  std::visit(Visitor{out, indent, depth}, value_);
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace lcmm::util

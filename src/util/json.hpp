@@ -1,0 +1,60 @@
+// Minimal JSON value tree + serializer, for machine-readable reports from
+// the CLI tool and benches. Write-only by design (we never parse JSON).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lcmm::util {
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(std::int64_t v) : value_(v) {}
+  Json(std::size_t v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : value_(v) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+
+  static Json object() {
+    Json j;
+    j.value_ = Object{};
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.value_ = Array{};
+    return j;
+  }
+
+  /// Object access; creates the key. Throws std::logic_error on non-objects.
+  Json& operator[](const std::string& key);
+  /// Array append. Throws std::logic_error on non-arrays.
+  Json& push(Json value);
+
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  std::size_t size() const;
+
+  /// Serializes; indent < 0 emits compact single-line JSON.
+  std::string dump(int indent = 2) const;
+
+ private:
+  using Array = std::vector<Json>;
+  // std::map keeps key order deterministic across runs.
+  using Object = std::map<std::string, Json>;
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      value_;
+
+  void write(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace lcmm::util

@@ -1,0 +1,52 @@
+// Lightweight leveled logging for the LCMM library.
+//
+// The library is deterministic and single-threaded by design (it is a
+// compile-time allocation framework), so the logger keeps no locks. Output
+// goes to stderr; benches and examples print their results to stdout so the
+// two streams never interleave in redirected runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lcmm::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold. Messages below this level are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line ("[level] message") to stderr if enabled.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace lcmm::util
+
+#define LCMM_LOG(level) ::lcmm::util::detail::LogMessage(level)
+#define LCMM_DEBUG() LCMM_LOG(::lcmm::util::LogLevel::kDebug)
+#define LCMM_INFO() LCMM_LOG(::lcmm::util::LogLevel::kInfo)
+#define LCMM_WARN() LCMM_LOG(::lcmm::util::LogLevel::kWarn)
+#define LCMM_ERROR() LCMM_LOG(::lcmm::util::LogLevel::kError)

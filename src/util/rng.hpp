@@ -1,0 +1,31 @@
+// Deterministic xoshiro256** RNG for property tests and random-graph sweeps.
+//
+// std::mt19937 would do, but its state is large and its distributions are
+// implementation-defined; fixing the generator and distribution here makes
+// test sweeps byte-for-byte reproducible across compilers.
+#pragma once
+
+#include <cstdint>
+
+namespace lcmm::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+  /// Uniform double in [0, 1).
+  double next_double();
+  /// Bernoulli(p).
+  bool next_bool(double p = 0.5);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace lcmm::util

@@ -1,0 +1,118 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lcmm::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width " + std::to_string(cells.size()) +
+                                " != header width " + std::to_string(header_.size()));
+  }
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+namespace {
+std::string rule(const std::vector<std::size_t>& widths) {
+  std::string line;
+  for (std::size_t w : widths) {
+    line += '+';
+    line.append(w + 2, '-');
+  }
+  line += "+\n";
+  return line;
+}
+
+std::string render_row(const std::vector<std::string>& cells,
+                       const std::vector<std::size_t>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    line += "| ";
+    line += cells[i];
+    line.append(widths[i] - cells[i].size() + 1, ' ');
+  }
+  line += "|\n";
+  return line;
+}
+}  // namespace
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const Row& r : rows_) {
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], r.cells[i].size());
+    }
+  }
+  std::string out = rule(widths);
+  out += render_row(header_, widths);
+  out += rule(widths);
+  for (const Row& r : rows_) {
+    if (r.separator_before) out += rule(widths);
+    out += render_row(r.cells, widths);
+  }
+  out += rule(widths);
+  return out;
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << csv_escape(header_[i]);
+  }
+  os << '\n';
+  for (const Row& r : rows_) {
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(r.cells[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_string();
+}
+
+std::string fmt_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction) {
+  return std::to_string(static_cast<long long>(std::llround(fraction * 100.0)));
+}
+
+std::string fmt_mebibytes(double bytes, int digits) {
+  return fmt_fixed(bytes / (1024.0 * 1024.0), digits) + " MB";
+}
+
+}  // namespace lcmm::util

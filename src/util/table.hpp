@@ -1,0 +1,50 @@
+// ASCII table / CSV rendering used by the bench harnesses to print the
+// paper's tables and figure series in a readable, diffable format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lcmm::util {
+
+/// A simple column-aligned text table. Cells are strings; callers format
+/// numbers with `fmt_*` helpers below so every bench prints consistently.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator line before the next added row.
+  void add_separator();
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i].cells; }
+
+  /// Renders with padded columns, `|` separators and a header rule.
+  std::string to_string() const;
+  /// Renders as RFC-4180-ish CSV (separator rows are skipped).
+  std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Fixed-precision decimal, e.g. fmt_fixed(1.3579, 2) == "1.36".
+std::string fmt_fixed(double value, int digits);
+/// Percentage without the sign, e.g. fmt_pct(0.856) == "86".
+std::string fmt_pct(double fraction);
+/// Engineering-style bytes, e.g. "3.98 MB".
+std::string fmt_mebibytes(double bytes, int digits = 2);
+
+}  // namespace lcmm::util

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "cli/options.hpp"
+
+namespace lcmm::cli {
+namespace {
+
+TEST(Cli, ModelAndDefaults) {
+  const Options opt = parse_cli({"--model", "googlenet"});
+  EXPECT_EQ(opt.model, "googlenet");
+  EXPECT_EQ(opt.precision, hw::Precision::kInt16);
+  EXPECT_EQ(opt.device, "vu9p");
+  EXPECT_EQ(opt.design, DesignChoice::kBoth);
+  EXPECT_EQ(opt.format, OutputFormat::kText);
+  EXPECT_TRUE(opt.lcmm.feature_reuse);
+  EXPECT_TRUE(opt.lcmm.weight_prefetch);
+}
+
+TEST(Cli, EqualsSyntax) {
+  const Options opt =
+      parse_cli({"--model=resnet152", "--precision=8", "--format=json"});
+  EXPECT_EQ(opt.model, "resnet152");
+  EXPECT_EQ(opt.precision, hw::Precision::kInt8);
+  EXPECT_EQ(opt.format, OutputFormat::kJson);
+}
+
+TEST(Cli, AllPrecisions) {
+  EXPECT_EQ(parse_cli({"--model", "m", "--precision", "8"}).precision,
+            hw::Precision::kInt8);
+  EXPECT_EQ(parse_cli({"--model", "m", "--precision", "16"}).precision,
+            hw::Precision::kInt16);
+  EXPECT_EQ(parse_cli({"--model", "m", "--precision", "32"}).precision,
+            hw::Precision::kFp32);
+  EXPECT_THROW(parse_cli({"--model", "m", "--precision", "4"}), CliError);
+}
+
+TEST(Cli, PassToggles) {
+  const Options opt = parse_cli({"--model", "m", "--no-feature-reuse",
+                                 "--no-prefetch", "--no-splitting",
+                                 "--no-promotion", "--no-fallback"});
+  EXPECT_FALSE(opt.lcmm.feature_reuse);
+  EXPECT_FALSE(opt.lcmm.weight_prefetch);
+  EXPECT_FALSE(opt.lcmm.buffer_splitting);
+  EXPECT_FALSE(opt.lcmm.residency_promotion);
+  EXPECT_FALSE(opt.lcmm.allow_fallback_to_umm);
+}
+
+TEST(Cli, AllocatorChoices) {
+  EXPECT_EQ(parse_cli({"--model", "m", "--allocator", "greedy"}).lcmm.allocator,
+            core::AllocatorKind::kGreedy);
+  EXPECT_EQ(parse_cli({"--model", "m", "--allocator", "exact"}).lcmm.allocator,
+            core::AllocatorKind::kExact);
+  EXPECT_THROW(parse_cli({"--model", "m", "--allocator", "magic"}), CliError);
+}
+
+TEST(Cli, NumericOptions) {
+  const Options opt = parse_cli(
+      {"--model", "m", "--dse-passes", "1", "--capacity-fraction", "0.5"});
+  EXPECT_EQ(opt.lcmm.dse_passes, 1);
+  EXPECT_DOUBLE_EQ(opt.lcmm.sram_capacity_fraction, 0.5);
+  EXPECT_THROW(parse_cli({"--model", "m", "--dse-passes", "two"}), CliError);
+}
+
+TEST(Cli, RequiresExactlyOneInput) {
+  EXPECT_THROW(parse_cli({}), CliError);
+  EXPECT_THROW(parse_cli({"--format", "json"}), CliError);
+  EXPECT_THROW(parse_cli({"--model", "a", "--graph", "b.lcmm"}), CliError);
+  EXPECT_NO_THROW(parse_cli({"--graph", "b.lcmm"}));
+}
+
+TEST(Cli, HelpShortCircuitsValidation) {
+  EXPECT_TRUE(parse_cli({"--help"}).show_help);
+  EXPECT_TRUE(parse_cli({"-h"}).show_help);
+}
+
+TEST(Cli, UnknownOptionRejected) {
+  EXPECT_THROW(parse_cli({"--model", "m", "--frobnicate"}), CliError);
+}
+
+TEST(Cli, MissingValueRejected) {
+  EXPECT_THROW(parse_cli({"--model"}), CliError);
+  EXPECT_THROW(parse_cli({"--model", "m", "--precision"}), CliError);
+}
+
+TEST(Cli, DeviceValidation) {
+  EXPECT_NO_THROW(parse_cli({"--model", "m", "--device", "zu9eg"}));
+  EXPECT_THROW(parse_cli({"--model", "m", "--device", "stratix"}), CliError);
+  EXPECT_EQ(resolve_device("vu9p").name, "xcvu9p");
+  EXPECT_EQ(resolve_device("zu9eg").name, "xczu9eg");
+}
+
+TEST(Cli, UsageMentionsEveryModel) {
+  const std::string text = usage();
+  EXPECT_NE(text.find("googlenet"), std::string::npos);
+  EXPECT_NE(text.find("mobilenet_v1"), std::string::npos);
+  EXPECT_NE(text.find("--precision"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lcmm::cli

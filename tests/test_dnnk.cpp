@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "core/dnnk.hpp"
+#include "core/liveness.hpp"
+#include "test_graphs.hpp"
+
+namespace lcmm::core {
+namespace {
+
+using lcmm::testing::small_design;
+
+/// A chain of 1x1 convs on fat feature maps: every layer memory bound.
+graph::ComputationGraph fat_chain(int n) {
+  graph::ComputationGraph g("fat_chain");
+  auto x = g.add_input("in", {256, 28, 28});
+  for (int i = 0; i < n; ++i) {
+    x = g.add_conv("c" + std::to_string(i), x, {256, 1, 1, 1, 0, 0});
+  }
+  g.validate();
+  return g;
+}
+
+/// An instance with singleton virtual buffers over input-feature entities
+/// only — one tensor per layer, so knapsack values are independent and the
+/// exact search is a true optimum oracle. Heap members keep the internal
+/// cross-references (tables -> model -> graph) stable.
+struct Instance {
+  std::unique_ptr<graph::ComputationGraph> graph_ptr;
+  std::unique_ptr<hw::PerfModel> model_ptr;
+  std::unique_ptr<LatencyTables> tables_ptr;
+  std::unique_ptr<InterferenceGraph> ig_ptr;
+  std::vector<VirtualBuffer> buffers;
+
+  const graph::ComputationGraph& graph = *graph_ptr;
+  LatencyTables& tables = *tables_ptr;
+  InterferenceGraph& ig = *ig_ptr;
+};
+
+Instance singleton_instance(int n) {
+  auto g = std::make_unique<graph::ComputationGraph>(fat_chain(n));
+  // Wide SIMD makes every 1x1 layer decisively input-transfer bound.
+  hw::AcceleratorDesign design = small_design();
+  design.array = {16, 8, 16};
+  auto model = std::make_unique<hw::PerfModel>(*g, design);
+  auto tables = std::make_unique<LatencyTables>(*model);
+  LivenessOptions opt;
+  opt.include_compute_bound = true;
+  std::vector<TensorEntity> entities;
+  for (const TensorEntity& e : build_feature_entities(*model, opt)) {
+    if (e.key.source == TensorSource::kInput) entities.push_back(e);
+  }
+  auto ig = std::make_unique<InterferenceGraph>(std::move(entities));
+  std::vector<VirtualBuffer> buffers;
+  for (std::size_t i = 0; i < ig->size(); ++i) {
+    VirtualBuffer b;
+    b.id = static_cast<int>(i);
+    b.bytes = ig->entities()[i].bytes;
+    b.members = {i};
+    buffers.push_back(b);
+  }
+  return Instance{std::move(g), std::move(model), std::move(tables),
+                  std::move(ig), std::move(buffers)};
+}
+
+TEST(Dnnk, ZeroCapacityAllocatesNothing) {
+  auto inst = singleton_instance(4);
+  const auto r = dnnk_allocate(inst.ig, inst.buffers, inst.tables, 0);
+  EXPECT_EQ(r.bytes_used, 0);
+  EXPECT_DOUBLE_EQ(r.gain_s, 0.0);
+  for (bool on : r.buffer_on_chip) EXPECT_FALSE(on);
+}
+
+TEST(Dnnk, UnlimitedCapacityTakesEveryUsefulBuffer) {
+  auto inst = singleton_instance(4);
+  const auto r = dnnk_allocate(inst.ig, inst.buffers, inst.tables,
+                               std::int64_t{1} << 40);
+  for (std::size_t b = 0; b < inst.buffers.size(); ++b) {
+    EXPECT_TRUE(r.buffer_on_chip[b]);
+  }
+  EXPECT_GT(r.gain_s, 0.0);
+}
+
+TEST(Dnnk, CapacityRespectedAcrossSweep) {
+  auto inst = singleton_instance(6);
+  const AllocatorOptions opt;
+  for (std::int64_t cap = 0; cap < std::int64_t{4} << 20;
+       cap += std::int64_t{1} << 18) {
+    const auto r = dnnk_allocate(inst.ig, inst.buffers, inst.tables, cap, opt);
+    EXPECT_LE(r.bytes_used, (cap / opt.granularity_bytes) * opt.granularity_bytes +
+                                0);  // quantized capacity
+    EXPECT_GE(r.gain_s, 0.0);
+  }
+}
+
+TEST(Dnnk, MatchesExactOnIndependentItems) {
+  auto inst = singleton_instance(6);
+  // Sweep capacities; with independent singleton items DNNK reduces to the
+  // classic 0/1 knapsack DP, which is optimal at block granularity.
+  for (std::int64_t cap :
+       {std::int64_t{1} << 19, std::int64_t{1} << 20, std::int64_t{3} << 20}) {
+    const auto dp = dnnk_allocate(inst.ig, inst.buffers, inst.tables, cap);
+    const auto best = exact_allocate(inst.ig, inst.buffers, inst.tables, cap);
+    EXPECT_NEAR(dp.gain_s, best.gain_s, best.gain_s * 1e-9 + 1e-15)
+        << "capacity " << cap;
+  }
+}
+
+TEST(Dnnk, AtLeastAsGoodAsGreedyOnChain) {
+  auto inst = singleton_instance(8);
+  for (std::int64_t cap : {std::int64_t{1} << 20, std::int64_t{2} << 20}) {
+    const auto dp = dnnk_allocate(inst.ig, inst.buffers, inst.tables, cap);
+    const auto greedy = greedy_allocate(inst.ig, inst.buffers, inst.tables, cap);
+    EXPECT_GE(dp.gain_s, greedy.gain_s - 1e-15);
+  }
+}
+
+TEST(Dnnk, GainIsTrueLatencyDelta) {
+  auto inst = singleton_instance(5);
+  const auto r = dnnk_allocate(inst.ig, inst.buffers, inst.tables,
+                               std::int64_t{2} << 20);
+  const OnChipState umm(inst.graph.num_layers());
+  const double delta = inst.tables.total_latency(umm) -
+                       inst.tables.total_latency(r.state);
+  EXPECT_NEAR(r.gain_s, delta, 1e-15);
+}
+
+TEST(Dnnk, PivotCompensationWithinOneLayer) {
+  // One layer, two entities (if and of) in separate buffers. The realized
+  // total gain must equal the Eq. 1 node delta, not the sum of standalone
+  // gains (which would double count below the pivot).
+  graph::ComputationGraph g = fat_chain(1);
+  hw::PerfModel model(g, small_design());
+  LatencyTables tables(model);
+  LivenessOptions opt;
+  opt.include_compute_bound = true;
+  InterferenceGraph ig(build_feature_entities(model, opt));
+  std::vector<VirtualBuffer> buffers;
+  for (std::size_t i = 0; i < ig.size(); ++i) {
+    buffers.push_back(VirtualBuffer{static_cast<int>(i), ig.entities()[i].bytes,
+                                    {i}, 0, 0});
+  }
+  const auto r =
+      dnnk_allocate(ig, buffers, tables, std::int64_t{1} << 40);
+  const std::uint8_t full_mask = r.state.layer_mask(0);
+  const double node_delta =
+      tables.node_latency_umm(0) - tables.node_latency(0, full_mask);
+  EXPECT_NEAR(r.gain_s, node_delta, 1e-15);
+}
+
+TEST(Dnnk, PrefersHigherValuePerByte) {
+  // Two singleton buffers, capacity for one: DNNK must take the one whose
+  // true gain is larger when sizes are equal.
+  auto inst = singleton_instance(2);
+  ASSERT_EQ(inst.buffers.size(), 2u);
+  const std::int64_t cap = std::max(inst.buffers[0].bytes, inst.buffers[1].bytes);
+  const auto r = dnnk_allocate(inst.ig, inst.buffers, inst.tables, cap);
+  const auto best = exact_allocate(inst.ig, inst.buffers, inst.tables, cap);
+  EXPECT_NEAR(r.gain_s, best.gain_s, 1e-12);
+}
+
+TEST(Dnnk, QuantizationRoundsUp) {
+  AllocatorOptions opt;
+  opt.granularity_bytes = 100;
+  EXPECT_EQ(quantized_units(1, opt), 1);
+  EXPECT_EQ(quantized_units(100, opt), 1);
+  EXPECT_EQ(quantized_units(101, opt), 2);
+  opt.granularity_bytes = 0;
+  EXPECT_THROW(quantized_units(1, opt), std::invalid_argument);
+}
+
+TEST(Exact, RejectsOversizedInstances) {
+  auto inst = singleton_instance(3);
+  std::vector<VirtualBuffer> many;
+  for (int i = 0; i < 30; ++i) {
+    VirtualBuffer b = inst.buffers[0];
+    b.id = i;
+    many.push_back(b);
+  }
+  EXPECT_THROW(exact_allocate(inst.ig, many, inst.tables, 1 << 20),
+               std::invalid_argument);
+  EXPECT_THROW(
+      exact_allocate(inst.ig, inst.buffers, inst.tables, 1 << 20, {}, 30),
+      std::invalid_argument);
+}
+
+TEST(EvaluateSelection, SelectionSizeMismatchThrows) {
+  auto inst = singleton_instance(2);
+  EXPECT_THROW(evaluate_selection(inst.ig, inst.buffers, inst.tables,
+                                  {true}, AllocatorOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Greedy, RespectsCapacity) {
+  auto inst = singleton_instance(6);
+  const AllocatorOptions opt;
+  const std::int64_t cap = std::int64_t{1} << 20;
+  const auto r = greedy_allocate(inst.ig, inst.buffers, inst.tables, cap, opt);
+  EXPECT_LE(r.bytes_used, cap);
+  EXPECT_GE(r.gain_s, 0.0);
+}
+
+TEST(LatencyTablesApi, MarginalGainNonNegativeAndConsistent) {
+  auto g = lcmm::testing::residual_block();
+  hw::PerfModel model(g, small_design());
+  LatencyTables tables(model);
+  for (const auto& layer : g.layers()) {
+    for (int s = 0; s < kNumSources; ++s) {
+      for (std::uint8_t mask = 0; mask < 16; ++mask) {
+        const double gain =
+            tables.marginal_gain(layer.id, static_cast<TensorSource>(s), mask);
+        EXPECT_GE(gain, 0.0);
+      }
+    }
+    // Fully on-chip latency equals the compute floor.
+    EXPECT_NEAR(tables.node_latency(layer.id, 0x0F),
+                model.timing(layer.id).compute_s, 1e-15);
+    EXPECT_DOUBLE_EQ(tables.node_latency_umm(layer.id),
+                     model.timing(layer.id).umm_latency());
+  }
+}
+
+TEST(LatencyTablesApi, PivotIsLargestOffChipTerm) {
+  auto g = fat_chain(1);
+  hw::PerfModel model(g, small_design());
+  LatencyTables tables(model);
+  TensorSource pivot;
+  ASSERT_TRUE(tables.pivot(0, 0, pivot));
+  const auto& t = model.timing(0);
+  const double lat = pivot == TensorSource::kInput  ? t.if_s
+                     : pivot == TensorSource::kWeight ? t.wt_s
+                                                      : t.of_s;
+  EXPECT_GE(lat, t.if_s);
+  EXPECT_GE(lat, t.wt_s);
+  EXPECT_GE(lat, t.of_s);
+  // With everything on-chip there is no pivot.
+  EXPECT_FALSE(tables.pivot(0, 0x0F, pivot));
+}
+
+}  // namespace
+}  // namespace lcmm::core

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/export.hpp"
+#include "core/liveness.hpp"
+#include "models/models.hpp"
+#include "test_graphs.hpp"
+
+namespace lcmm::core {
+namespace {
+
+using lcmm::testing::small_design;
+
+InterferenceGraph snippet_interference() {
+  static auto g = models::build_inception_c1_snippet();
+  hw::PerfModel model(g, small_design());
+  LivenessOptions opt;
+  opt.include_compute_bound = true;
+  return InterferenceGraph(build_feature_entities(model, opt));
+}
+
+TEST(Export, InterferenceDotMentionsEveryEntity) {
+  const InterferenceGraph ig = snippet_interference();
+  const std::string dot = interference_to_dot(ig);
+  EXPECT_NE(dot.find("graph interference"), std::string::npos);
+  for (const TensorEntity& e : ig.entities()) {
+    EXPECT_NE(dot.find(e.name), std::string::npos) << e.name;
+  }
+  // Undirected edges.
+  EXPECT_NE(dot.find(" -- "), std::string::npos);
+}
+
+TEST(Export, FalseEdgesRenderDashed) {
+  InterferenceGraph ig = snippet_interference();
+  // Find a non-interfering pair to split.
+  bool added = false;
+  for (std::size_t a = 0; a < ig.size() && !added; ++a) {
+    for (std::size_t b = a + 1; b < ig.size() && !added; ++b) {
+      if (!ig.interferes(a, b)) {
+        ig.add_false_edge(a, b);
+        added = true;
+      }
+    }
+  }
+  ASSERT_TRUE(added);
+  const std::string dot = interference_to_dot(ig);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("split"), std::string::npos);
+}
+
+TEST(Export, PdgShowsHiddenAndUnhiddenEdges) {
+  auto g = models::build_googlenet();
+  hw::PerfModel model(g, small_design());
+  LivenessOptions opt;
+  opt.include_compute_bound = true;
+  const PrefetchResult prefetch = build_prefetch_schedule(model, opt);
+  const std::string dot = pdg_to_dot(g, prefetch);
+  EXPECT_NE(dot.find("digraph pdg"), std::string::npos);
+  EXPECT_NE(dot.find("prefetch"), std::string::npos);
+  EXPECT_NE(dot.find("color=blue"), std::string::npos);  // hidden
+  EXPECT_NE(dot.find("color=red"), std::string::npos);   // first layers
+}
+
+TEST(Export, PlanDotColorsBuffersByStatus) {
+  auto g = models::build_squeezenet();
+  LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16);
+  const AllocationPlan plan = compiler.compile(g);
+  const std::string dot = plan_to_dot(plan);
+  EXPECT_NE(dot.find("vbuf"), std::string::npos);
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);  // on-chip buffers
+}
+
+TEST(Export, EscapingHandlesQuotes) {
+  graph::ComputationGraph g("q");
+  auto in = g.add_input("in\"put", {8, 4, 4});
+  g.add_conv("c", in, {8, 1, 1, 1, 0, 0});
+  hw::PerfModel model(g, small_design());
+  LivenessOptions opt;
+  opt.include_compute_bound = true;
+  InterferenceGraph ig(build_feature_entities(model, opt));
+  const std::string dot = interference_to_dot(ig);
+  EXPECT_NE(dot.find("\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lcmm::core

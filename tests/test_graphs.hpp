@@ -1,0 +1,58 @@
+// Shared hand-built graphs for the unit tests.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "hw/dse.hpp"
+#include "hw/perf_model.hpp"
+
+namespace lcmm::testing {
+
+/// input -> A -> B -> C : a three-conv chain on a 32x28x28 input.
+inline graph::ComputationGraph chain3() {
+  graph::ComputationGraph g("chain3");
+  auto x = g.add_input("in", {32, 28, 28});
+  x = g.add_conv("A", x, {64, 3, 3, 1, 1, 1});
+  x = g.add_conv("B", x, {64, 3, 3, 1, 1, 1});
+  g.add_conv("C", x, {128, 1, 1, 1, 0, 0});
+  g.validate();
+  return g;
+}
+
+/// Diamond: input feeds two branches which concat; mirrors the f1/f2
+/// same-data-multiple-consumers situation of the paper's Fig. 3.
+inline graph::ComputationGraph diamond() {
+  graph::ComputationGraph g("diamond");
+  auto in = g.add_input("in", {64, 14, 14});
+  auto a = g.add_conv("left", in, {32, 1, 1, 1, 0, 0});
+  auto b = g.add_conv("right", in, {32, 3, 3, 1, 1, 1});
+  std::array<graph::ValueId, 2> parts{a, b};
+  auto cat = g.add_concat("cat", parts);
+  g.add_conv("tail", cat, {64, 1, 1, 1, 0, 0});
+  g.validate();
+  return g;
+}
+
+/// Residual bottleneck: conv -> conv with fused shortcut add.
+inline graph::ComputationGraph residual_block() {
+  graph::ComputationGraph g("residual");
+  auto in = g.add_input("in", {256, 14, 14});
+  auto mid = g.add_conv("reduce", in, {64, 1, 1, 1, 0, 0});
+  auto mid2 = g.add_conv("conv3", mid, {64, 3, 3, 1, 1, 1});
+  g.add_conv("expand", mid2, {256, 1, 1, 1, 0, 0}, /*residual=*/in);
+  g.validate();
+  return g;
+}
+
+/// A fixed, small accelerator design so tests don't depend on DSE choices.
+inline hw::AcceleratorDesign small_design(
+    hw::Precision p = hw::Precision::kInt8) {
+  hw::AcceleratorDesign d;
+  d.device = hw::FpgaDevice::vu9p();
+  d.precision = p;
+  d.array = {16, 8, 8};
+  d.tile = {64, 14, 14};
+  d.freq_mhz = 200.0;
+  return d;
+}
+
+}  // namespace lcmm::testing

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/interference.hpp"
+
+namespace lcmm::core {
+namespace {
+
+TensorEntity make_entity(int layer, TensorSource src, std::int64_t bytes,
+                         int def, int last) {
+  TensorEntity e;
+  e.key = {layer, src};
+  e.name = "t" + std::to_string(layer);
+  e.bytes = bytes;
+  e.def_step = def;
+  e.last_use_step = last;
+  return e;
+}
+
+std::vector<TensorEntity> three_entities() {
+  return {make_entity(0, TensorSource::kOutput, 100, 0, 2),
+          make_entity(1, TensorSource::kInput, 200, 1, 3),
+          make_entity(2, TensorSource::kInput, 50, 4, 5)};
+}
+
+TEST(Interference, EdgesFromOverlap) {
+  InterferenceGraph g(three_entities());
+  EXPECT_TRUE(g.interferes(0, 1));   // [0,2] vs [1,3]
+  EXPECT_FALSE(g.interferes(0, 2));  // [0,2] vs [4,5]
+  EXPECT_FALSE(g.interferes(1, 2));  // [1,3] vs [4,5]
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Interference, SelfAlwaysInterferes) {
+  InterferenceGraph g(three_entities());
+  EXPECT_TRUE(g.interferes(1, 1));
+}
+
+TEST(Interference, SymmetricQueries) {
+  InterferenceGraph g(three_entities());
+  for (std::size_t a = 0; a < g.size(); ++a) {
+    for (std::size_t b = 0; b < g.size(); ++b) {
+      EXPECT_EQ(g.interferes(a, b), g.interferes(b, a));
+    }
+  }
+}
+
+TEST(Interference, FalseEdgeAdds) {
+  InterferenceGraph g(three_entities());
+  EXPECT_FALSE(g.interferes(1, 2));
+  g.add_false_edge(1, 2);
+  EXPECT_TRUE(g.interferes(1, 2));
+  EXPECT_TRUE(g.is_false_edge(1, 2));
+  EXPECT_TRUE(g.is_false_edge(2, 1));
+  EXPECT_EQ(g.num_false_edges(), 1u);
+  // Idempotent; never downgrades a real edge.
+  g.add_false_edge(1, 2);
+  EXPECT_EQ(g.num_false_edges(), 1u);
+  g.add_false_edge(0, 1);
+  EXPECT_FALSE(g.is_false_edge(0, 1));  // real edge stays real
+}
+
+TEST(Interference, DegreeCountsBothKinds) {
+  InterferenceGraph g(three_entities());
+  EXPECT_EQ(g.degree(0), 1u);
+  g.add_false_edge(0, 2);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Interference, OutOfRangeThrows) {
+  InterferenceGraph g(three_entities());
+  EXPECT_THROW((void)g.interferes(0, 7), std::out_of_range);
+  EXPECT_THROW(g.add_false_edge(3, 3), std::out_of_range);
+}
+
+TEST(Interference, EmptyGraph) {
+  InterferenceGraph g({});
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Interference, BeforeExecutionIntervalsOverlapStepZero) {
+  std::vector<TensorEntity> v = {
+      make_entity(0, TensorSource::kInput, 10, kBeforeExecution, 0),
+      make_entity(1, TensorSource::kInput, 10, 0, 1),
+      make_entity(2, TensorSource::kWeight, 10, kBeforeExecution, kBeforeExecution)};
+  InterferenceGraph g(std::move(v));
+  EXPECT_TRUE(g.interferes(0, 1));
+  EXPECT_TRUE(g.interferes(0, 2));   // both live before execution
+  EXPECT_FALSE(g.interferes(1, 2));  // [-1,-1] vs [0,1]
+}
+
+}  // namespace
+}  // namespace lcmm::core

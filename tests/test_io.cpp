@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "io/text_format.hpp"
+#include "models/models.hpp"
+#include "test_graphs.hpp"
+
+namespace lcmm::io {
+namespace {
+
+constexpr const char* kTiny = R"(# a tiny test network
+graph tiny
+input image 3x32x32
+stage body
+conv c1 image out=16 kernel=3x3 stride=2 pad=1x1
+pool p1 c1 type=max kernel=2 stride=2
+conv left p1 out=8 kernel=1x1
+conv right p1 out=8 kernel=3x3 pad=1x1
+concat merged left right
+conv tail merged out=16 kernel=1x1
+stage head
+gpool gap tail type=avg
+fc cls gap out=10
+)";
+
+TEST(Parse, TinyNetwork) {
+  auto g = parse_graph(kTiny);
+  EXPECT_EQ(g.name(), "tiny");
+  EXPECT_EQ(g.num_conv_layers(), 5);  // c1, left, right, tail, cls
+  EXPECT_EQ(g.num_layers(), 7u);
+  // Shapes flow: 3x32x32 -> c1 16x16x16 -> pool 16x8x8 -> concat 16x8x8.
+  const auto& tail = g.layers()[4];
+  EXPECT_EQ(tail.name, "tail");
+  EXPECT_EQ(g.input_shape(tail.id), (graph::FeatureShape{16, 8, 8}));
+  EXPECT_EQ(tail.stage, "body");
+  EXPECT_EQ(g.layers()[6].stage, "head");
+}
+
+TEST(Parse, ResidualReference) {
+  auto g = parse_graph(
+      "graph r\n"
+      "input in 16x8x8\n"
+      "conv a in out=16 kernel=1x1\n"
+      "conv b a out=16 kernel=3x3 pad=1 residual=in\n");
+  EXPECT_TRUE(g.layers()[1].has_residual());
+}
+
+TEST(Parse, GroupedConv) {
+  auto g = parse_graph(
+      "graph g\n"
+      "input in 32x8x8\n"
+      "conv dw in out=32 kernel=3x3 pad=1 groups=32\n");
+  EXPECT_EQ(g.layers()[0].conv.groups, 32);
+  EXPECT_EQ(g.layer_weight_elems(0), 32 * 9);
+}
+
+TEST(Parse, ErrorsCarryLineNumbers) {
+  try {
+    parse_graph("graph g\ninput in 3x8x8\nconv c in kernel=3x3\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("out="), std::string::npos);
+  }
+}
+
+TEST(Parse, RejectsUnknownValue) {
+  EXPECT_THROW(parse_graph("graph g\nconv c nowhere out=8 kernel=1\n"),
+               ParseError);
+}
+
+TEST(Parse, RejectsDuplicateNames) {
+  EXPECT_THROW(parse_graph("graph g\ninput a 3x8x8\ninput a 3x8x8\n"),
+               ParseError);
+}
+
+TEST(Parse, RejectsMissingGraphHeader) {
+  EXPECT_THROW(parse_graph("input a 3x8x8\n"), ParseError);
+  EXPECT_THROW(parse_graph("# only comments\n"), ParseError);
+}
+
+TEST(Parse, RejectsRetiredConcatPart) {
+  EXPECT_THROW(parse_graph(
+                   "graph g\n"
+                   "input in 8x8x8\n"
+                   "conv a in out=8 kernel=1\n"
+                   "conv b in out=8 kernel=1\n"
+                   "concat m a b\n"
+                   "conv c a out=8 kernel=1\n"),  // 'a' was retired
+               ParseError);
+}
+
+TEST(Parse, BadShapeAndIntegers) {
+  EXPECT_THROW(parse_graph("graph g\ninput a 3x8\n"), ParseError);
+  EXPECT_THROW(parse_graph("graph g\ninput a 3x8xqq\n"), ParseError);
+  EXPECT_THROW(
+      parse_graph("graph g\ninput a 3x8x8\nconv c a out=ten kernel=1\n"),
+      ParseError);
+}
+
+TEST(RoundTrip, TinyPreservesStructure) {
+  auto original = parse_graph(kTiny);
+  auto reparsed = parse_graph(serialize_graph(original));
+  EXPECT_EQ(reparsed.name(), original.name());
+  ASSERT_EQ(reparsed.num_layers(), original.num_layers());
+  EXPECT_EQ(reparsed.total_macs(), original.total_macs());
+  EXPECT_EQ(reparsed.total_weight_elems(), original.total_weight_elems());
+  for (const auto& l : original.layers()) {
+    const auto& r = reparsed.layer(l.id);
+    EXPECT_EQ(r.name, l.name);
+    EXPECT_EQ(r.kind, l.kind);
+    EXPECT_EQ(r.stage, l.stage);
+    EXPECT_EQ(reparsed.own_output_shape(l.id), original.own_output_shape(l.id));
+  }
+}
+
+class RoundTripModels : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripModels, SerializeParseSerializeIsStable) {
+  auto original = models::build_by_name(GetParam());
+  const std::string once = serialize_graph(original);
+  auto reparsed = parse_graph(once);
+  const std::string twice = serialize_graph(reparsed);
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(reparsed.num_layers(), original.num_layers());
+  EXPECT_EQ(reparsed.total_macs(), original.total_macs());
+  EXPECT_EQ(reparsed.total_weight_elems(), original.total_weight_elems());
+  EXPECT_EQ(reparsed.num_conv_layers(), original.num_conv_layers());
+  // Liveness-relevant structure: identical consumer counts per value.
+  auto census = [](const graph::ComputationGraph& g) {
+    std::vector<std::size_t> counts;
+    for (graph::ValueId v : g.live_values()) {
+      counts.push_back(g.value(v).consumers.size());
+    }
+    return counts;
+  };
+  EXPECT_EQ(census(reparsed), census(original));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, RoundTripModels,
+                         ::testing::Values("resnet50", "resnet152", "googlenet",
+                                           "inception_v4", "alexnet", "vgg16",
+                                           "mobilenet_v1", "squeezenet"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(Golden, AlexNetSerializationIsStable) {
+  // Format regression pin: changing the emitter must be a conscious act.
+  constexpr const char* kExpected = R"(graph alexnet
+input image 3x227x227
+stage features
+conv conv1 image out=96 kernel=11 stride=4
+pool pool1 conv1 type=max kernel=3 stride=2
+conv conv2 pool1 out=256 kernel=5 pad=2
+pool pool2 conv2 type=max kernel=3 stride=2
+conv conv3 pool2 out=384 kernel=3 pad=1
+conv conv4 conv3 out=384 kernel=3 pad=1
+conv conv5 conv4 out=256 kernel=3 pad=1
+pool pool5 conv5 type=max kernel=3 stride=2
+stage classifier
+conv fc6 pool5 out=4096 kernel=6
+conv fc7 fc6 out=4096 kernel=1
+conv fc8 fc7 out=1000 kernel=1
+)";
+  EXPECT_EQ(serialize_graph(models::build_alexnet()), kExpected);
+}
+
+TEST(Files, SaveAndLoad) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "lcmm_io_test.lcmm").string();
+  auto g = lcmm::testing::diamond();
+  save_graph_file(g, path);
+  auto loaded = load_graph_file(path);
+  EXPECT_EQ(loaded.num_layers(), g.num_layers());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_graph_file("/nonexistent/x.lcmm"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lcmm::io

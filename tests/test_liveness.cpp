@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/liveness.hpp"
+#include "models/models.hpp"
+#include "test_graphs.hpp"
+
+namespace lcmm::core {
+namespace {
+
+using lcmm::testing::small_design;
+
+LivenessOptions all_layers() {
+  LivenessOptions opt;
+  opt.include_compute_bound = true;
+  return opt;
+}
+
+std::map<TensorKey, TensorEntity> by_key(const std::vector<TensorEntity>& v) {
+  std::map<TensorKey, TensorEntity> m;
+  for (const auto& e : v) m.emplace(e.key, e);
+  return m;
+}
+
+TEST(Liveness, ValueDefAndLastUse) {
+  auto g = lcmm::testing::chain3();
+  const auto& layer_b = g.layers()[1];
+  // B's output is defined at step 1 and last used by C at step 2.
+  EXPECT_EQ(value_def_step(g, layer_b.output), 1);
+  EXPECT_EQ(value_last_use_step(g, layer_b.output), 2);
+  // The graph input is live before execution.
+  EXPECT_EQ(value_def_step(g, g.layers()[0].input), kBeforeExecution);
+}
+
+TEST(Liveness, ConcatValueDefIsLastProducer) {
+  auto g = lcmm::testing::diamond();
+  const auto cat = g.layers()[2].input;  // tail's input is the concat value
+  // Producers are left (step 0) and right (step 1).
+  EXPECT_EQ(value_def_step(g, cat), 1);
+  EXPECT_EQ(value_last_use_step(g, cat), 2);
+}
+
+TEST(Liveness, ChainEntityIntervals) {
+  auto g = lcmm::testing::chain3();
+  hw::PerfModel model(g, small_design());
+  const auto entities = by_key(build_feature_entities(model, all_layers()));
+
+  // t_if(B): produced by A (step 0), consumed by B (step 1).
+  const auto& if_b = entities.at({1, TensorSource::kInput});
+  EXPECT_EQ(if_b.def_step, 0);
+  EXPECT_EQ(if_b.last_use_step, 1);
+
+  // t_of(A): defined at step 0, last read by B at step 1.
+  const auto& of_a = entities.at({0, TensorSource::kOutput});
+  EXPECT_EQ(of_a.def_step, 0);
+  EXPECT_EQ(of_a.last_use_step, 1);
+
+  // t_of(C): never read downstream; interval collapses to step 2.
+  const auto& of_c = entities.at({2, TensorSource::kOutput});
+  EXPECT_EQ(of_c.def_step, 2);
+  EXPECT_EQ(of_c.last_use_step, 2);
+
+  // t_if(A) reads the graph input.
+  const auto& if_a = entities.at({0, TensorSource::kInput});
+  EXPECT_EQ(if_a.def_step, kBeforeExecution);
+}
+
+TEST(Liveness, SameValueMultipleConsumersGetSeparateEntities) {
+  auto g = lcmm::testing::diamond();
+  hw::PerfModel model(g, small_design());
+  const auto entities = by_key(build_feature_entities(model, all_layers()));
+  // The input value feeds both "left" (0) and "right" (1): two entities,
+  // the paper's f1/f2/f4 situation.
+  const auto& if_left = entities.at({0, TensorSource::kInput});
+  const auto& if_right = entities.at({1, TensorSource::kInput});
+  EXPECT_EQ(if_left.value, if_right.value);
+  EXPECT_EQ(if_left.bytes, if_right.bytes);
+  EXPECT_EQ(if_left.last_use_step, 0);
+  EXPECT_EQ(if_right.last_use_step, 1);
+}
+
+TEST(Liveness, ResidualEntityCreated) {
+  auto g = lcmm::testing::residual_block();
+  hw::PerfModel model(g, small_design());
+  const auto entities = by_key(build_feature_entities(model, all_layers()));
+  const auto& res = entities.at({2, TensorSource::kResidual});
+  EXPECT_EQ(res.def_step, kBeforeExecution);  // shortcut is the graph input
+  EXPECT_EQ(res.last_use_step, 2);
+  EXPECT_GT(res.bytes, 0);
+}
+
+TEST(Liveness, BytesScaleWithPrecision) {
+  auto g = lcmm::testing::chain3();
+  hw::PerfModel m8(g, small_design(hw::Precision::kInt8));
+  hw::PerfModel m32(g, small_design(hw::Precision::kFp32));
+  const auto e8 = by_key(build_feature_entities(m8, all_layers()));
+  const auto e32 = by_key(build_feature_entities(m32, all_layers()));
+  for (const auto& [key, entity] : e8) {
+    EXPECT_EQ(e32.at(key).bytes, entity.bytes * 4);
+  }
+}
+
+TEST(Liveness, MemoryBoundFilterShrinksSet) {
+  auto g = models::build_inception_v4();
+  hw::PerfModel model(g, small_design());
+  const auto all = build_feature_entities(model, all_layers());
+  const auto bound_only = build_feature_entities(model, LivenessOptions{});
+  EXPECT_LT(bound_only.size(), all.size());
+  for (const auto& e : bound_only) {
+    EXPECT_TRUE(model.timing(e.key.layer).memory_bound());
+  }
+}
+
+TEST(Liveness, PoolExclusionFilter) {
+  auto g = models::build_googlenet();
+  hw::PerfModel model(g, small_design());
+  LivenessOptions opt = all_layers();
+  opt.include_pools = false;
+  for (const auto& e : build_feature_entities(model, opt)) {
+    EXPECT_TRUE(g.layer(e.key.layer).is_conv());
+  }
+}
+
+TEST(Liveness, StreamLatenciesComeFromTimingTables) {
+  auto g = lcmm::testing::chain3();
+  hw::PerfModel model(g, small_design());
+  for (const auto& e : build_feature_entities(model, all_layers())) {
+    const hw::LayerTiming& t = model.timing(e.key.layer);
+    switch (e.key.source) {
+      case TensorSource::kInput: EXPECT_DOUBLE_EQ(e.stream_latency_s, t.if_s); break;
+      case TensorSource::kResidual: EXPECT_DOUBLE_EQ(e.stream_latency_s, t.res_s); break;
+      case TensorSource::kWeight: EXPECT_DOUBLE_EQ(e.stream_latency_s, t.wt_s); break;
+      case TensorSource::kOutput: EXPECT_DOUBLE_EQ(e.stream_latency_s, t.of_s); break;
+    }
+  }
+}
+
+TEST(OnChipState, SetAndCount) {
+  OnChipState s(4);
+  EXPECT_EQ(s.count(), 0);
+  s.set({2, TensorSource::kWeight}, true);
+  s.set({2, TensorSource::kInput}, true);
+  EXPECT_TRUE(s.is_on({2, TensorSource::kWeight}));
+  EXPECT_FALSE(s.is_on({1, TensorSource::kWeight}));
+  EXPECT_EQ(s.count(), 2);
+  s.set({2, TensorSource::kWeight}, false);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.layer_mask(2), 1u << static_cast<int>(TensorSource::kInput));
+}
+
+TEST(Entity, OverlapSemantics) {
+  TensorEntity a, b;
+  a.def_step = 0; a.last_use_step = 2;
+  b.def_step = 2; b.last_use_step = 5;
+  EXPECT_TRUE(a.overlaps(b));  // closed intervals share step 2
+  b.def_step = 3;
+  EXPECT_FALSE(a.overlaps(b));
+}
+
+}  // namespace
+}  // namespace lcmm::core

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "hw/perf_model.hpp"
+#include "models/models.hpp"
+#include "test_graphs.hpp"
+
+namespace lcmm::hw {
+namespace {
+
+using lcmm::testing::small_design;
+
+graph::ComputationGraph fat_1x1() {
+  graph::ComputationGraph g("fat");
+  auto in = g.add_input("in", {512, 28, 28});
+  g.add_conv("c", in, {256, 1, 1, 1, 0, 0});
+  g.validate();
+  return g;
+}
+
+TEST(LoopOrders, DefaultIsOutputStationaryEverywhere) {
+  auto g = models::build_googlenet();
+  PerfModel model(g, small_design(Precision::kInt16));
+  for (const auto& l : g.layers()) {
+    EXPECT_EQ(model.timing(l.id).order, LoopOrder::kOutputStationary) << l.name;
+  }
+}
+
+TEST(LoopOrders, InputStationaryStreamsInputOnce) {
+  auto g = fat_1x1();
+  AcceleratorDesign base = small_design();
+  base.array = {16, 8, 16};  // wide SIMD: decisively input-transfer bound
+  AcceleratorDesign roomy = base;
+  roomy.stationary_buffer_bytes = std::int64_t{8} << 20;
+  PerfModel mb(g, base), mr(g, roomy);
+  const auto& tb = mb.timing(0);
+  const auto& tr = mr.timing(0);
+  // The 1x1 layer is if-bound with m-tile reloads; with a stationary
+  // buffer it switches order and the if traffic collapses to one sweep.
+  ASSERT_TRUE(tb.memory_bound());
+  EXPECT_EQ(tr.order, LoopOrder::kInputStationary);
+  EXPECT_LT(tr.if_bytes, tb.if_bytes);
+  EXPECT_NEAR(tr.if_bytes, 512.0 * 28 * 28, 1.0);
+  EXPECT_LE(tr.umm_latency(), tb.umm_latency());
+}
+
+TEST(LoopOrders, InfeasibleBudgetKeepsBaseline) {
+  auto g = fat_1x1();
+  AcceleratorDesign tight = small_design();
+  // The IS buffer needs 2*512*28*28 bytes; offer less.
+  tight.stationary_buffer_bytes = 100 * 1024;
+  PerfModel model(g, tight);
+  EXPECT_EQ(model.timing(0).order, LoopOrder::kOutputStationary);
+}
+
+TEST(LoopOrders, WeightStationaryWinsOnWeightBoundLayers) {
+  // A big-kernel late layer: tiny spatial extent, heavy weights, several
+  // spatial tiles force weight reloads under OS.
+  graph::ComputationGraph g("wt_bound");
+  auto in = g.add_input("in", {512, 16, 16});
+  g.add_conv("c", in, {512, 3, 3, 1, 1, 1});
+  g.validate();
+  AcceleratorDesign d = small_design();
+  d.tile = {64, 8, 8};   // 4 spatial tiles -> 4x weight traffic under OS
+  d.array = {32, 16, 16};  // big array: weights become the bottleneck
+  AcceleratorDesign roomy = d;
+  roomy.stationary_buffer_bytes = std::int64_t{64} << 20;  // everything fits
+  PerfModel mb(g, d), mr(g, roomy);
+  ASSERT_GT(mb.timing(0).wt_s, mb.timing(0).compute_s);  // wt-bound baseline
+  EXPECT_EQ(mr.timing(0).order, LoopOrder::kWeightStationary);
+  EXPECT_GT(mb.timing(0).wt_bytes, mr.timing(0).wt_bytes);
+  EXPECT_LT(mr.timing(0).umm_latency(), mb.timing(0).umm_latency());
+}
+
+TEST(LoopOrders, ComputeBoundTiesKeepBaselineOrder) {
+  // When every order yields the same (compute-bound) latency, the model
+  // keeps the baseline output-stationary template.
+  graph::ComputationGraph g("cb");
+  auto in = g.add_input("in", {512, 16, 16});
+  g.add_conv("c", in, {512, 3, 3, 1, 1, 1});
+  g.validate();
+  AcceleratorDesign d = small_design();
+  d.tile = {64, 8, 8};
+  d.array = {16, 8, 16};
+  d.stationary_buffer_bytes = std::int64_t{64} << 20;
+  PerfModel model(g, d);
+  ASSERT_FALSE(model.timing(0).memory_bound());
+  EXPECT_EQ(model.timing(0).order, LoopOrder::kOutputStationary);
+}
+
+TEST(LoopOrders, ChosenOrderIsOptimalAmongFeasible) {
+  auto g = models::build_inception_v4();
+  AcceleratorDesign d = small_design(Precision::kInt16);
+  d.stationary_buffer_bytes = std::int64_t{2} << 20;
+  PerfModel free_model(g, d);
+  PerfModel pinned(g, small_design(Precision::kInt16));
+  for (const auto& l : g.layers()) {
+    // The chosen order never loses to the pinned baseline.
+    EXPECT_LE(free_model.timing(l.id).umm_latency(),
+              pinned.timing(l.id).umm_latency() * (1 + 1e-12))
+        << l.name;
+  }
+}
+
+TEST(LoopOrders, Naming) {
+  EXPECT_EQ(to_string(LoopOrder::kOutputStationary), "output-stationary");
+  EXPECT_EQ(to_string(LoopOrder::kWeightStationary), "weight-stationary");
+  EXPECT_EQ(to_string(LoopOrder::kInputStationary), "input-stationary");
+}
+
+}  // namespace
+}  // namespace lcmm::hw

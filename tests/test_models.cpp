@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "models/models.hpp"
+
+namespace lcmm::models {
+namespace {
+
+using graph::ComputationGraph;
+using graph::FeatureShape;
+
+const graph::Layer& last_conv(const ComputationGraph& g) {
+  for (auto it = g.layers().rbegin(); it != g.layers().rend(); ++it) {
+    if (it->is_conv()) return *it;
+  }
+  throw std::logic_error("no conv layer");
+}
+
+FeatureShape final_value_shape(const ComputationGraph& g) {
+  return g.value(g.layers().back().output).shape;
+}
+
+TEST(ResNet152, LayerCensus) {
+  auto g = build_resnet(152);
+  // 50 bottleneck blocks x 3 convs + conv1 + 4 projections + fc = 156.
+  EXPECT_EQ(g.num_conv_layers(), 156);
+  // conv1 + maxpool + global pool: 2 pool layers.
+  EXPECT_EQ(g.num_layers() - g.num_conv_layers(), 2u);
+}
+
+TEST(ResNet152, MacsMatchPublishedScale) {
+  auto g = build_resnet(152);
+  const double gmacs = static_cast<double>(g.total_macs()) / 1e9;
+  // ~11.3 GMACs for 224x224 ResNet-152 (plus fused-add overhead).
+  EXPECT_NEAR(gmacs, 11.3, 0.5);
+  const double mweights = static_cast<double>(g.total_weight_elems()) / 1e6;
+  EXPECT_NEAR(mweights, 60.0, 3.0);  // ~60 M parameters
+}
+
+TEST(ResNet50, MacsAndParams) {
+  auto g = build_resnet(50);
+  EXPECT_NEAR(static_cast<double>(g.total_macs()) / 1e9, 4.1, 0.3);
+  EXPECT_NEAR(static_cast<double>(g.total_weight_elems()) / 1e6, 25.5, 2.0);
+  EXPECT_EQ(g.num_conv_layers(), 54);  // 16x3 + conv1 + 4 proj + fc
+}
+
+TEST(ResNet, StageOutputShapes) {
+  auto g = build_resnet(50);
+  // Find the last layer of each stage by stage label.
+  FeatureShape res2, res5;
+  for (const auto& l : g.layers()) {
+    if (l.stage == "res2c") res2 = g.value(l.output).shape;
+    if (l.stage == "res5c") res5 = g.value(l.output).shape;
+  }
+  EXPECT_EQ(res2, (FeatureShape{256, 56, 56}));
+  EXPECT_EQ(res5, (FeatureShape{2048, 7, 7}));
+}
+
+TEST(ResNet, ClassifierShape) {
+  auto g = build_resnet(101);
+  EXPECT_EQ(final_value_shape(g), (FeatureShape{1000, 1, 1}));
+  EXPECT_EQ(last_conv(g).name, "fc1000");
+}
+
+TEST(ResNet, ResidualAddsPresent) {
+  auto g = build_resnet(50);
+  int residuals = 0;
+  for (const auto& l : g.layers()) residuals += l.has_residual();
+  EXPECT_EQ(residuals, 16);  // one fused add per bottleneck block
+}
+
+TEST(ResNet, UnsupportedDepthThrows) {
+  EXPECT_THROW(build_resnet(26), std::invalid_argument);
+}
+
+TEST(ResNet34, BasicBlockCensus) {
+  auto g = build_resnet(34);
+  // 16 basic blocks x 2 convs + conv1 + 3 projections + fc = 37.
+  EXPECT_EQ(g.num_conv_layers(), 37);
+  EXPECT_NEAR(static_cast<double>(g.total_macs()) / 1e9, 3.67, 0.3);
+  EXPECT_NEAR(static_cast<double>(g.total_weight_elems()) / 1e6, 21.8, 1.5);
+  EXPECT_EQ(final_value_shape(g), (FeatureShape{1000, 1, 1}));
+}
+
+TEST(ResNet18, BasicBlockCensus) {
+  auto g = build_resnet(18);
+  // 8 basic blocks x 2 convs + conv1 + 3 projections + fc = 21.
+  EXPECT_EQ(g.num_conv_layers(), 21);
+  EXPECT_NEAR(static_cast<double>(g.total_macs()) / 1e9, 1.82, 0.2);
+  EXPECT_NEAR(static_cast<double>(g.total_weight_elems()) / 1e6, 11.7, 1.0);
+}
+
+TEST(ResNetBasic, FinalStageShape) {
+  auto g = build_resnet(34);
+  FeatureShape res5;
+  for (const auto& l : g.layers()) {
+    if (l.stage == "res5c") res5 = g.value(l.output).shape;
+  }
+  // Basic blocks do not expand 4x: res5 ends at 512 channels.
+  EXPECT_EQ(res5, (FeatureShape{512, 7, 7}));
+}
+
+TEST(GoogLeNet, LayerCensus) {
+  auto g = build_googlenet();
+  // 3 stem convs + 9 blocks x 6 convs + classifier = 58.
+  EXPECT_EQ(g.num_conv_layers(), 58);
+}
+
+TEST(GoogLeNet, NineInceptionBlocks) {
+  auto g = build_googlenet();
+  int blocks = 0;
+  for (const std::string& s : g.stages()) {
+    blocks += s.rfind("inception_", 0) == 0;
+  }
+  EXPECT_EQ(blocks, 9);
+}
+
+TEST(GoogLeNet, BlockOutputChannels) {
+  auto g = build_googlenet();
+  // inception_3a output: 64+128+32+32 = 256 channels at 28x28.
+  for (const auto& l : g.layers()) {
+    if (l.name == "inception_3a/pool_proj") {
+      EXPECT_EQ(g.value(l.output).shape, (FeatureShape{256, 28, 28}));
+    }
+    if (l.name == "inception_5b/pool_proj") {
+      EXPECT_EQ(g.value(l.output).shape, (FeatureShape{1024, 7, 7}));
+    }
+  }
+}
+
+TEST(GoogLeNet, MacsMatchPublishedScale) {
+  auto g = build_googlenet();
+  EXPECT_NEAR(static_cast<double>(g.total_macs()) / 1e9, 1.6, 0.2);
+  EXPECT_NEAR(static_cast<double>(g.total_weight_elems()) / 1e6, 7.0, 1.0);
+}
+
+TEST(InceptionV4, LayerCensus) {
+  auto g = build_inception_v4();
+  EXPECT_EQ(g.num_conv_layers(), 150);
+}
+
+TEST(InceptionV4, FourteenInceptionBlocks) {
+  auto g = build_inception_v4();
+  int blocks = 0;
+  for (const std::string& s : g.stages()) {
+    blocks += s.rfind("inception_", 0) == 0;
+  }
+  EXPECT_EQ(blocks, 14);  // 4 A + 7 B + 3 C — the paper's 2^14 design space
+}
+
+TEST(InceptionV4, GridShapesThroughNetwork) {
+  auto g = build_inception_v4();
+  for (const auto& l : g.layers()) {
+    if (l.name == "stem/mixed_5a") continue;
+    if (l.stage.rfind("inception_a", 0) == 0 && l.is_conv()) {
+      EXPECT_EQ(g.value(l.output).shape.height, 35) << l.name;
+    }
+    if (l.stage.rfind("inception_b", 0) == 0 && l.is_conv()) {
+      EXPECT_EQ(g.value(l.output).shape.height, 17) << l.name;
+    }
+    if (l.stage.rfind("inception_c", 0) == 0 && l.is_conv()) {
+      EXPECT_EQ(g.value(l.output).shape.height, 8) << l.name;
+    }
+  }
+  // Block output channel counts.
+  for (const auto& l : g.layers()) {
+    if (l.name == "inception_a1/pool_proj") {
+      EXPECT_EQ(g.value(l.output).shape.channels, 384);
+    }
+    if (l.name == "inception_b1/pool_proj") {
+      EXPECT_EQ(g.value(l.output).shape.channels, 1024);
+    }
+    if (l.name == "inception_c1/pool_proj") {
+      EXPECT_EQ(g.value(l.output).shape.channels, 1536);
+    }
+  }
+}
+
+TEST(InceptionV4, MacsMatchPublishedScale) {
+  auto g = build_inception_v4();
+  // ~12.3 GMACs at 299x299.
+  EXPECT_NEAR(static_cast<double>(g.total_macs()) / 1e9, 12.3, 0.8);
+  EXPECT_NEAR(static_cast<double>(g.total_weight_elems()) / 1e6, 41.2, 3.0);
+}
+
+TEST(AlexNet, LinearStructure) {
+  auto g = build_alexnet();
+  EXPECT_EQ(g.num_conv_layers(), 8);  // 5 conv + 3 fc
+  // Every value has at most one consumer: linear chain.
+  for (graph::ValueId v : g.live_values()) {
+    EXPECT_LE(g.value(v).consumers.size(), 1u);
+  }
+  EXPECT_EQ(final_value_shape(g), (FeatureShape{1000, 1, 1}));
+}
+
+TEST(Vgg16, CensusAndMacs) {
+  auto g = build_vgg16();
+  EXPECT_EQ(g.num_conv_layers(), 16);  // 13 conv + 3 fc
+  EXPECT_NEAR(static_cast<double>(g.total_macs()) / 1e9, 15.5, 1.0);
+  EXPECT_NEAR(static_cast<double>(g.total_weight_elems()) / 1e6, 138.0, 8.0);
+}
+
+TEST(Registry, BuildsEveryListedModel) {
+  for (const std::string& name : model_names()) {
+    auto g = build_by_name(name);
+    EXPECT_GT(g.num_layers(), 0u) << name;
+    EXPECT_NO_THROW(g.validate()) << name;
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(build_by_name("lenet"), std::invalid_argument);
+}
+
+TEST(AllModels, ValuesHaveConsistentSlices) {
+  for (const std::string& name : model_names()) {
+    auto g = build_by_name(name);
+    for (graph::ValueId v : g.live_values()) {
+      const auto& value = g.value(v);
+      if (value.producers.empty()) continue;
+      int covered = 0;
+      for (graph::LayerId p : value.producers) {
+        covered += g.own_output_shape(p).channels;
+      }
+      EXPECT_EQ(covered, value.shape.channels) << name << ": " << value.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lcmm::models

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "hw/perf_model.hpp"
+#include "hw/roofline.hpp"
+#include "models/models.hpp"
+#include "test_graphs.hpp"
+
+namespace lcmm::hw {
+namespace {
+
+using lcmm::testing::small_design;
+
+TEST(LayerTiming, Eq1IsMaxOfTerms) {
+  LayerTiming t;
+  t.compute_s = 5.0;
+  t.if_s = 3.0;
+  t.res_s = 1.0;
+  t.wt_s = 7.0;
+  t.of_s = 2.0;
+  EXPECT_DOUBLE_EQ(t.umm_latency(), 7.0);
+  EXPECT_DOUBLE_EQ(t.max_transfer(), 7.0);
+  EXPECT_TRUE(t.memory_bound());
+  t.wt_s = 1.0;
+  EXPECT_DOUBLE_EQ(t.umm_latency(), 5.0);
+  EXPECT_FALSE(t.memory_bound());
+  // Residual shares the input interface: terms add.
+  t.if_s = 4.5;
+  EXPECT_DOUBLE_EQ(t.max_transfer(), 5.5);
+  EXPECT_TRUE(t.memory_bound());
+}
+
+TEST(PerfModel, CyclesCoverNominalMacs) {
+  auto g = lcmm::testing::chain3();
+  PerfModel model(g, small_design());
+  for (const auto& l : g.layers()) {
+    const LayerTiming& t = model.timing(l.id);
+    // The array can never beat one MAC per DSP per cycle.
+    EXPECT_GE(t.cycles * model.design().array.macs_per_cycle(), t.nominal_macs)
+        << l.name;
+    EXPECT_GT(t.compute_s, 0.0);
+  }
+}
+
+TEST(PerfModel, TrafficLowerBounds) {
+  auto g = lcmm::testing::chain3();
+  PerfModel model(g, small_design());
+  const int bpe = bytes_per_elem(model.design().precision);
+  for (const auto& l : g.layers()) {
+    const LayerTiming& t = model.timing(l.id);
+    const auto& in = g.input_shape(l.id);
+    // Inputs are fetched at least once, outputs stored exactly once.
+    EXPECT_GE(t.if_bytes, static_cast<double>(in.elems() * bpe)) << l.name;
+    EXPECT_DOUBLE_EQ(t.of_bytes,
+                     static_cast<double>(g.own_output_shape(l.id).elems() * bpe));
+    if (l.is_conv()) {
+      EXPECT_GE(t.wt_bytes,
+                static_cast<double>(g.layer_weight_elems(l.id) * bpe));
+    } else {
+      EXPECT_DOUBLE_EQ(t.wt_bytes, 0.0);
+    }
+  }
+}
+
+TEST(PerfModel, ResidualStreamCharged) {
+  auto g = lcmm::testing::residual_block();
+  PerfModel model(g, small_design());
+  const auto& expand = g.layers()[2];
+  ASSERT_TRUE(expand.has_residual());
+  const LayerTiming& t = model.timing(expand.id);
+  EXPECT_GT(t.res_bytes, 0.0);
+  EXPECT_GT(t.res_s, 0.0);
+  // Non-residual layers carry no residual stream.
+  EXPECT_DOUBLE_EQ(model.timing(0).res_bytes, 0.0);
+}
+
+TEST(PerfModel, MoreRowsFewerInputTrips) {
+  auto g = lcmm::testing::chain3();
+  AcceleratorDesign d16 = small_design();
+  AcceleratorDesign d32 = small_design();
+  d32.array.rows = 32;
+  PerfModel m16(g, d16), m32(g, d32);
+  // Layer C has 128 output channels: 8 trips at 16 rows, 4 at 32.
+  EXPECT_GT(m16.timing(2).if_bytes, m32.timing(2).if_bytes);
+}
+
+TEST(PerfModel, PrecisionScalesTraffic) {
+  auto g = lcmm::testing::chain3();
+  AcceleratorDesign d8 = small_design(Precision::kInt8);
+  AcceleratorDesign d16 = small_design(Precision::kInt16);
+  PerfModel m8(g, d8), m16(g, d16);
+  for (const auto& l : g.layers()) {
+    EXPECT_NEAR(m16.timing(l.id).if_bytes / m8.timing(l.id).if_bytes, 2.0, 1e-9);
+    // Same array, same cycle count: compute unchanged.
+    EXPECT_EQ(m16.timing(l.id).cycles, m8.timing(l.id).cycles);
+  }
+}
+
+TEST(PerfModel, HigherFrequencyReducesCompute) {
+  auto g = lcmm::testing::chain3();
+  AcceleratorDesign slow = small_design();
+  AcceleratorDesign fast = small_design();
+  slow.freq_mhz = 100.0;
+  fast.freq_mhz = 200.0;
+  PerfModel ms(g, slow), mf(g, fast);
+  for (const auto& l : g.layers()) {
+    EXPECT_NEAR(ms.timing(l.id).compute_s / mf.timing(l.id).compute_s, 2.0, 1e-9);
+    // Transfers are unaffected by the fabric clock.
+    EXPECT_DOUBLE_EQ(ms.timing(l.id).if_s, mf.timing(l.id).if_s);
+  }
+}
+
+TEST(PerfModel, TotalsAggregate) {
+  auto g = lcmm::testing::chain3();
+  PerfModel model(g, small_design());
+  double sum = 0.0;
+  for (const auto& l : g.layers()) sum += model.timing(l.id).umm_latency();
+  EXPECT_DOUBLE_EQ(model.umm_total_latency(), sum);
+  EXPECT_DOUBLE_EQ(model.total_nominal_ops(), 2.0 * g.total_macs());
+  EXPECT_GT(model.ops_per_sec(sum), 0.0);
+  EXPECT_THROW(model.ops_per_sec(0.0), std::invalid_argument);
+}
+
+TEST(PerfModel, InvalidDesignThrows) {
+  auto g = lcmm::testing::chain3();
+  AcceleratorDesign d = small_design();
+  d.freq_mhz = 0.0;
+  EXPECT_THROW(PerfModel(g, d), std::invalid_argument);
+  d = small_design();
+  d.array.rows = 0;
+  EXPECT_THROW(PerfModel(g, d), std::invalid_argument);
+}
+
+TEST(PerfModel, PoolLayersHaveNoWeights) {
+  auto g = models::build_googlenet();
+  PerfModel model(g, small_design());
+  for (const auto& l : g.layers()) {
+    if (!l.is_conv()) {
+      EXPECT_DOUBLE_EQ(model.timing(l.id).wt_bytes, 0.0) << l.name;
+      EXPECT_GT(model.timing(l.id).if_bytes, 0.0) << l.name;
+    }
+  }
+}
+
+TEST(Roofline, CountsConvLayersOnly) {
+  auto g = models::build_googlenet();
+  PerfModel model(g, small_design());
+  const RooflineSummary summary = characterize_roofline(model);
+  EXPECT_EQ(static_cast<int>(summary.points.size()), g.num_conv_layers());
+  EXPECT_GT(summary.peak_ops_per_sec, 0.0);
+}
+
+TEST(Roofline, MemoryBoundPointsSitBelowCompute) {
+  auto g = models::build_inception_v4();
+  PerfModel model(g, small_design());
+  const RooflineSummary summary = characterize_roofline(model);
+  int checked = 0;
+  for (const auto& pt : summary.points) {
+    EXPECT_GT(pt.intensity_ops_per_byte, 0.0);
+    EXPECT_LE(pt.attainable_ops_per_sec, summary.peak_ops_per_sec * 1.0001);
+    if (pt.memory_bound) {
+      const LayerTiming& t = model.timing(pt.layer);
+      EXPECT_GT(t.max_transfer(), t.compute_s);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, summary.num_memory_bound);
+  EXPECT_GE(summary.num_memory_bound, summary.num_above_threshold);
+}
+
+TEST(Roofline, MemoryBoundFraction) {
+  auto g = models::build_inception_v4();
+  PerfModel model(g, small_design());
+  const RooflineSummary s = characterize_roofline(model);
+  EXPECT_NEAR(s.memory_bound_fraction(),
+              static_cast<double>(s.num_memory_bound) / s.points.size(), 1e-12);
+}
+
+}  // namespace
+}  // namespace lcmm::hw

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "models/models.hpp"
+#include "test_graphs.hpp"
+
+namespace lcmm::core {
+namespace {
+
+TEST(CutPoints, ChainIsFullyCuttable) {
+  auto g = lcmm::testing::chain3();
+  const auto cuts = legal_cut_points(g);
+  // Cuts after steps 0 and 1 (never after the last layer).
+  EXPECT_EQ(cuts, (std::vector<int>{0, 1}));
+}
+
+TEST(CutPoints, ConcatProducersAreAtomic) {
+  auto g = lcmm::testing::diamond();  // left(0), right(1) -> concat -> tail(2)
+  const auto cuts = legal_cut_points(g);
+  // Cutting between left and right (after step 0) would split the concat
+  // value's producers; only the cut after step 1 is legal.
+  EXPECT_EQ(cuts, (std::vector<int>{1}));
+}
+
+TEST(ExtractSegment, PreservesWorkAndShapes) {
+  auto g = models::build_googlenet();
+  const int steps = static_cast<int>(g.num_layers());
+  const int mid = steps / 2;
+  // Find a legal boundary near the middle.
+  const auto cuts = legal_cut_points(g);
+  int boundary = cuts.front();
+  for (int c : cuts) {
+    if (std::abs(c - mid) < std::abs(boundary - mid)) boundary = c;
+  }
+  auto head = extract_segment(g, 0, boundary);
+  auto tail = extract_segment(g, boundary + 1, steps - 1);
+  EXPECT_EQ(head.num_layers() + tail.num_layers(), g.num_layers());
+  EXPECT_EQ(head.total_macs() + tail.total_macs(), g.total_macs());
+  EXPECT_EQ(head.total_weight_elems() + tail.total_weight_elems(),
+            g.total_weight_elems());
+}
+
+TEST(ExtractSegment, FullRangeReproducesGraph) {
+  auto g = models::build_squeezenet();
+  auto whole = extract_segment(g, 0, static_cast<int>(g.num_layers()) - 1);
+  EXPECT_EQ(whole.num_layers(), g.num_layers());
+  EXPECT_EQ(whole.total_macs(), g.total_macs());
+  EXPECT_EQ(whole.num_conv_layers(), g.num_conv_layers());
+}
+
+TEST(ExtractSegment, IllegalCutThrows) {
+  auto g = lcmm::testing::diamond();
+  // Range [1, 2] would need 'left' (step 0) inside the concat group.
+  EXPECT_THROW(extract_segment(g, 1, 2), std::invalid_argument);
+  EXPECT_THROW(extract_segment(g, -1, 1), std::invalid_argument);
+  EXPECT_THROW(extract_segment(g, 2, 1), std::invalid_argument);
+}
+
+TEST(ExtractSegment, ResidualAcrossBoundaryBecomesInput) {
+  auto g = lcmm::testing::residual_block();  // reduce(0), conv3(1), expand(2)
+  auto tail = extract_segment(g, 2, 2);
+  // The expand conv consumes two external values: conv3's output and the
+  // residual shortcut.
+  EXPECT_EQ(tail.num_layers(), 1u);
+  EXPECT_TRUE(tail.layers()[0].has_residual());
+  int inputs = 0;
+  for (graph::ValueId v : tail.live_values()) {
+    inputs += tail.value(v).is_graph_input();
+  }
+  EXPECT_EQ(inputs, 2);
+}
+
+TEST(Partitioner, SliceDividesResources) {
+  PipelinePartitioner part(hw::FpgaDevice::vu9p(), hw::Precision::kInt16);
+  const auto slice = part.device_slice(2);
+  EXPECT_EQ(slice.dsp_total, 3420);
+  EXPECT_EQ(slice.uram_total, 480);
+  EXPECT_EQ(slice.ddr_banks, 2);
+  // Never starves a slice of DRAM entirely.
+  EXPECT_EQ(part.device_slice(8).ddr_banks, 1);
+  EXPECT_THROW(part.device_slice(0), std::invalid_argument);
+}
+
+TEST(Partitioner, SingleSegmentMatchesPlainLcmm) {
+  auto g = models::build_squeezenet();
+  PipelinePartitioner part(hw::FpgaDevice::vu9p(), hw::Precision::kInt16);
+  const PipelinePlan plan = part.partition(g, 1);
+  ASSERT_EQ(plan.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.bottleneck_s, plan.latency_s);
+  EXPECT_EQ(plan.segments[0].subgraph.num_layers(), g.num_layers());
+}
+
+TEST(Partitioner, MoreSegmentsImproveThroughput) {
+  auto g = models::build_googlenet();
+  PipelinePartitioner part(hw::FpgaDevice::vu9p(), hw::Precision::kInt16);
+  const PipelinePlan one = part.partition(g, 1);
+  const PipelinePlan two = part.partition(g, 2);
+  ASSERT_EQ(two.segments.size(), 2u);
+  // Each slice is half the machine, but each stage sees half the work:
+  // pipelining should not lose much and usually wins.
+  EXPECT_LT(two.bottleneck_s, one.bottleneck_s * 1.15);
+  // Segments tile the network exactly.
+  EXPECT_EQ(two.segments[0].last_step + 1, two.segments[1].first_step);
+  EXPECT_EQ(two.segments[1].last_step,
+            static_cast<int>(g.num_layers()) - 1);
+}
+
+TEST(Partitioner, BottleneckIsMaxAndLatencyIsSum) {
+  auto g = models::build_resnet(50);
+  PipelinePartitioner part(hw::FpgaDevice::vu9p(), hw::Precision::kInt8);
+  const PipelinePlan plan = part.partition(g, 3);
+  ASSERT_EQ(plan.segments.size(), 3u);
+  double sum = 0.0, mx = 0.0;
+  for (const auto& s : plan.segments) {
+    sum += s.latency_s;
+    mx = std::max(mx, s.latency_s);
+  }
+  EXPECT_DOUBLE_EQ(plan.latency_s, sum);
+  EXPECT_DOUBLE_EQ(plan.bottleneck_s, mx);
+  EXPECT_GT(plan.throughput_images_per_s(), 0.0);
+}
+
+TEST(Partitioner, RejectsImpossibleCounts) {
+  auto g = lcmm::testing::diamond();  // only one legal cut -> max 2 segments
+  PipelinePartitioner part(hw::FpgaDevice::vu9p(), hw::Precision::kInt8);
+  EXPECT_THROW(part.partition(g, 5), std::invalid_argument);
+  EXPECT_THROW(part.partition(g, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcmm::core

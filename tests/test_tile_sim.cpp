@@ -1,0 +1,118 @@
+// Cross-validation of the analytical Eq. 1 model against the tile-level
+// event simulator — the evidence that the closed form used inside DNNK and
+// the DSE is trustworthy.
+#include <gtest/gtest.h>
+
+#include "core/lcmm.hpp"
+#include "models/models.hpp"
+#include "sim/tile_sim.hpp"
+#include "test_graphs.hpp"
+
+namespace lcmm::sim {
+namespace {
+
+using lcmm::testing::small_design;
+
+TEST(TileSim, LowerBoundsHold) {
+  auto g = models::build_googlenet();
+  hw::PerfModel model(g, small_design(hw::Precision::kInt16));
+  for (const auto& l : g.layers()) {
+    const TileSimResult r = simulate_layer_tiles(model, l.id);
+    const hw::LayerTiming& t = model.timing(l.id);
+    // The event simulation can never beat any single resource's busy time.
+    EXPECT_GE(r.latency_s * (1 + 1e-12), r.compute_busy_s) << l.name;
+    EXPECT_GE(r.latency_s * (1 + 1e-12), r.if_busy_s) << l.name;
+    EXPECT_GE(r.latency_s * (1 + 1e-12), r.wt_busy_s) << l.name;
+    // And the busy times agree with the analytical stream totals.
+    EXPECT_NEAR(r.if_busy_s, t.if_s, t.if_s * 0.02 + 1e-9) << l.name;
+    EXPECT_NEAR(r.wt_busy_s, t.wt_s, t.wt_s * 0.02 + 1e-9) << l.name;
+    EXPECT_NEAR(r.compute_busy_s, t.compute_s, t.compute_s * 0.05 + 1e-9)
+        << l.name;
+  }
+}
+
+class TileSimAgreement : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TileSimAgreement, MatchesAnalyticalWithinTolerance) {
+  auto g = models::build_by_name(GetParam());
+  hw::PerfModel model(g, small_design(hw::Precision::kInt16));
+  double analytical = 0.0, event = 0.0;
+  for (const auto& l : g.layers()) {
+    analytical += model.timing(l.id).umm_latency();
+    event += simulate_layer_tiles(model, l.id).latency_s;
+  }
+  // Event-driven >= analytical (fill/coupling), but within 20% end to end.
+  EXPECT_GE(event, analytical * 0.99);
+  EXPECT_LE(event, analytical * 1.20)
+      << "pipeline effects should stay second-order";
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, TileSimAgreement,
+                         ::testing::Values("googlenet", "resnet50",
+                                           "squeezenet", "mobilenet_v1"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(TileSim, OnChipMaskRemovesStreams) {
+  auto g = lcmm::testing::chain3();
+  hw::PerfModel model(g, small_design());
+  const TileSimResult off = simulate_layer_tiles(model, 1, 0);
+  const std::uint8_t all_on = 0x0F;
+  const TileSimResult on = simulate_layer_tiles(model, 1, all_on);
+  EXPECT_DOUBLE_EQ(on.if_busy_s, 0.0);
+  EXPECT_DOUBLE_EQ(on.wt_busy_s, 0.0);
+  EXPECT_DOUBLE_EQ(on.of_busy_s, 0.0);
+  EXPECT_LE(on.latency_s, off.latency_s);
+  // Fully on-chip: latency is pure compute.
+  EXPECT_NEAR(on.latency_s, on.compute_busy_s, on.compute_busy_s * 1e-9);
+}
+
+TEST(TileSim, TileCountMatchesGeometry) {
+  auto g = lcmm::testing::chain3();
+  hw::PerfModel model(g, small_design());
+  const auto geom = layer_tile_geometry(g, 1, model.design().array,
+                                        model.design().tile);
+  const TileSimResult r = simulate_layer_tiles(model, 1);
+  EXPECT_EQ(r.num_tiles, geom.total_tiles());
+}
+
+TEST(TileSim, MemoryBoundLayerIsStreamLimited) {
+  // A fat 1x1 conv on a wide-SIMD array: the if stream dominates, so the
+  // event simulation should sit near the if busy time, far above compute.
+  graph::ComputationGraph g("t");
+  auto in = g.add_input("in", {512, 28, 28});
+  g.add_conv("c", in, {64, 1, 1, 1, 0, 0});
+  hw::AcceleratorDesign d = small_design();
+  d.array = {16, 8, 16};
+  hw::PerfModel model(g, d);
+  ASSERT_TRUE(model.timing(0).memory_bound());
+  const TileSimResult r = simulate_layer_tiles(model, 0);
+  EXPECT_GT(r.if_busy_s, r.compute_busy_s);
+  EXPECT_LE(r.latency_s, r.if_busy_s * 1.15);
+}
+
+TEST(TileSim, TotalRespectsAllocationState) {
+  auto g = models::build_googlenet();
+  core::LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16);
+  auto plan = compiler.compile(g);
+  hw::PerfModel model(g, plan.design);
+  const core::OnChipState umm(g.num_layers());
+  const double base = tile_sim_total_latency(model, umm);
+  const double allocated = tile_sim_total_latency(model, plan.state);
+  EXPECT_LT(allocated, base);
+}
+
+TEST(TileSim, ResidualChargedOnWriteOut) {
+  auto g = lcmm::testing::residual_block();
+  hw::PerfModel model(g, small_design());
+  const auto& expand = g.layers()[2];
+  const TileSimResult with_res = simulate_layer_tiles(model, expand.id, 0);
+  std::uint8_t res_on = 0;
+  res_on |= 1u << static_cast<int>(core::TensorSource::kResidual);
+  const TileSimResult without = simulate_layer_tiles(model, expand.id, res_on);
+  // The residual is read on the input-feature interface during write-out.
+  EXPECT_GT(with_res.if_busy_s, without.if_busy_s);
+  EXPECT_DOUBLE_EQ(with_res.of_busy_s, without.of_busy_s);
+}
+
+}  // namespace
+}  // namespace lcmm::sim

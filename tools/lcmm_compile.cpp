@@ -1,0 +1,178 @@
+// lcmm_compile: the command-line front end of the LCMM framework.
+//
+//   lcmm_compile --model googlenet --precision 16
+//   lcmm_compile --graph mynet.lcmm --design lcmm --format json
+//   lcmm_compile --model resnet152 --roofline --trace
+#include <iostream>
+
+#include "cli/options.hpp"
+#include "core/validate.hpp"
+#include "graph/dot.hpp"
+#include "hw/roofline.hpp"
+#include "io/text_format.hpp"
+#include "models/models.hpp"
+#include "sim/chrome_trace.hpp"
+#include "sim/memory_trace.hpp"
+#include "sim/report.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lcmm;
+
+void print_text_report(const sim::DesignReport& r) {
+  util::Table t({"field", "value"});
+  t.add_row({"network", r.network});
+  t.add_row({"precision", hw::to_string(r.precision)});
+  t.add_row({"design", r.is_umm ? "UMM" : "LCMM"});
+  t.add_row({"latency", util::fmt_fixed(r.latency_ms, 3) + " ms"});
+  t.add_row({"throughput", util::fmt_fixed(r.tops, 3) + " Tops"});
+  t.add_row({"clock", util::fmt_fixed(r.freq_mhz, 0) + " MHz"});
+  t.add_row({"DSP / CLB / SRAM", util::fmt_pct(r.dsp_util) + "% / " +
+                                     util::fmt_pct(r.clb_util) + "% / " +
+                                     util::fmt_pct(r.sram_util) + "%"});
+  t.add_row({"BRAM / URAM", util::fmt_pct(r.bram_util) + "% / " +
+                                util::fmt_pct(r.uram_util) + "%"});
+  if (!r.is_umm) {
+    t.add_row({"POL", util::fmt_pct(r.pol) + "%"});
+    t.add_row({"tensor buffers", std::to_string(r.num_on_chip_buffers) + " (" +
+                                     util::fmt_mebibytes(static_cast<double>(
+                                         r.tensor_buffer_bytes)) +
+                                     ")"});
+    t.add_row({"prefetch stalls", util::fmt_fixed(r.total_stall_ms, 3) + " ms"});
+  }
+  std::cout << t;
+}
+
+void print_csv_report(const sim::DesignReport& r, bool header) {
+  if (header) {
+    std::cout << "network,precision,design,latency_ms,tops,freq_mhz,dsp,clb,"
+                 "sram,bram,uram,pol,stall_ms,buffers\n";
+  }
+  std::cout << r.network << ',' << hw::to_string(r.precision) << ','
+            << (r.is_umm ? "UMM" : "LCMM") << ','
+            << util::fmt_fixed(r.latency_ms, 4) << ','
+            << util::fmt_fixed(r.tops, 4) << ','
+            << util::fmt_fixed(r.freq_mhz, 0) << ','
+            << util::fmt_fixed(r.dsp_util, 3) << ','
+            << util::fmt_fixed(r.clb_util, 3) << ','
+            << util::fmt_fixed(r.sram_util, 3) << ','
+            << util::fmt_fixed(r.bram_util, 3) << ','
+            << util::fmt_fixed(r.uram_util, 3) << ','
+            << util::fmt_fixed(r.pol, 3) << ','
+            << util::fmt_fixed(r.total_stall_ms, 4) << ','
+            << r.num_on_chip_buffers << "\n";
+}
+
+int run(const cli::Options& opt) {
+  if (opt.verbose) util::set_log_level(util::LogLevel::kInfo);
+
+  graph::ComputationGraph graph =
+      opt.model.empty() ? io::load_graph_file(opt.graph_file)
+                        : models::build_by_name(opt.model);
+
+  if (opt.emit_dot) {
+    std::cout << graph::to_dot(graph);
+    return 0;
+  }
+  if (opt.emit_graph) {
+    std::cout << io::serialize_graph(graph);
+    return 0;
+  }
+
+  const hw::FpgaDevice device = cli::resolve_device(opt.device);
+  core::LcmmCompiler compiler(device, opt.precision, opt.lcmm);
+
+  struct Compiled {
+    core::AllocationPlan plan;
+    sim::SimResult sim;
+  };
+  std::vector<Compiled> runs;
+  if (opt.design != cli::DesignChoice::kLcmm) {
+    Compiled c;
+    c.plan = compiler.compile_umm(graph);
+    c.sim = sim::simulate(graph, c.plan);
+    runs.push_back(std::move(c));
+  }
+  if (opt.design != cli::DesignChoice::kUmm) {
+    Compiled c;
+    c.plan = compiler.compile(graph);
+    c.sim = sim::refine_against_stalls(graph, c.plan);
+    runs.push_back(std::move(c));
+  }
+
+  if (opt.emit_roofline) {
+    hw::PerfModel model(graph, runs.front().plan.design);
+    const auto summary = characterize_roofline(model);
+    std::cout << "memory-bound conv layers: " << summary.num_memory_bound
+              << " / " << summary.points.size() << "\n";
+  }
+
+  if (opt.format == cli::OutputFormat::kJson) {
+    util::Json out = util::Json::array();
+    for (const Compiled& c : runs) {
+      out.push(plan_to_json(graph, c.plan, c.sim));
+    }
+    std::cout << out.dump() << "\n";
+  } else {
+    bool first = true;
+    for (const Compiled& c : runs) {
+      const sim::DesignReport r = make_report(graph, c.plan, c.sim);
+      if (opt.format == cli::OutputFormat::kCsv) {
+        print_csv_report(r, first);
+      } else {
+        if (!first) std::cout << "\n";
+        print_text_report(r);
+      }
+      first = false;
+    }
+    if (opt.format == cli::OutputFormat::kText && runs.size() == 2) {
+      std::cout << "\nspeedup (UMM / LCMM): "
+                << util::fmt_fixed(runs[0].sim.total_s / runs[1].sim.total_s, 2)
+                << "x\n";
+    }
+  }
+
+  if (opt.emit_trace) {
+    const Compiled& c = runs.back();
+    const sim::MemoryTrace trace = build_memory_trace(graph, c.plan, c.sim);
+    std::cout << "\n" << trace.ascii_gantt();
+  }
+  if (!opt.chrome_trace_path.empty()) {
+    write_chrome_trace(graph, runs.back().sim, opt.chrome_trace_path);
+    std::cerr << "wrote " << opt.chrome_trace_path << "\n";
+  }
+  if (opt.validate) {
+    bool ok = true;
+    for (const Compiled& c : runs) {
+      for (const std::string& issue : core::validate_plan(graph, c.plan)) {
+        std::cerr << "plan violation: " << issue << "\n";
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::cerr << "plan validation: ok\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    const cli::Options opt = cli::parse_cli(args);
+    if (opt.show_help) {
+      std::cout << cli::usage();
+      return 0;
+    }
+    return run(opt);
+  } catch (const cli::CliError& e) {
+    std::cerr << "error: " << e.what() << "\n\n" << cli::usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
