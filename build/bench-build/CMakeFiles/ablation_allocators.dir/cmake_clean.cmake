@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_allocators"
+  "../bench/ablation_allocators.pdb"
+  "CMakeFiles/ablation_allocators.dir/ablation_allocators.cpp.o"
+  "CMakeFiles/ablation_allocators.dir/ablation_allocators.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allocators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_loop_orders"
+  "../bench/ablation_loop_orders.pdb"
+  "CMakeFiles/ablation_loop_orders.dir/ablation_loop_orders.cpp.o"
+  "CMakeFiles/ablation_loop_orders.dir/ablation_loop_orders.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loop_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_passes"
+  "../bench/ablation_passes.pdb"
+  "CMakeFiles/ablation_passes.dir/ablation_passes.cpp.o"
+  "CMakeFiles/ablation_passes.dir/ablation_passes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_batch"
+  "../bench/extension_batch.pdb"
+  "CMakeFiles/extension_batch.dir/extension_batch.cpp.o"
+  "CMakeFiles/extension_batch.dir/extension_batch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_pipeline"
+  "../bench/extension_pipeline.pdb"
+  "CMakeFiles/extension_pipeline.dir/extension_pipeline.cpp.o"
+  "CMakeFiles/extension_pipeline.dir/extension_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

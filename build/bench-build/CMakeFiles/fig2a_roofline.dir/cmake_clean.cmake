@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2a_roofline"
+  "../bench/fig2a_roofline.pdb"
+  "CMakeFiles/fig2a_roofline.dir/fig2a_roofline.cpp.o"
+  "CMakeFiles/fig2a_roofline.dir/fig2a_roofline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

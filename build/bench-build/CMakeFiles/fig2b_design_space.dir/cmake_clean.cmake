@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2b_design_space"
+  "../bench/fig2b_design_space.pdb"
+  "CMakeFiles/fig2b_design_space.dir/fig2b_design_space.cpp.o"
+  "CMakeFiles/fig2b_design_space.dir/fig2b_design_space.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

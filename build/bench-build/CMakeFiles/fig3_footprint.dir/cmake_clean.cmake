@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_footprint"
+  "../bench/fig3_footprint.pdb"
+  "CMakeFiles/fig3_footprint.dir/fig3_footprint.cpp.o"
+  "CMakeFiles/fig3_footprint.dir/fig3_footprint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

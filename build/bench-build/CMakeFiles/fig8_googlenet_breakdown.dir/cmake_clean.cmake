@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_googlenet_breakdown"
+  "../bench/fig8_googlenet_breakdown.pdb"
+  "CMakeFiles/fig8_googlenet_breakdown.dir/fig8_googlenet_breakdown.cpp.o"
+  "CMakeFiles/fig8_googlenet_breakdown.dir/fig8_googlenet_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_googlenet_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

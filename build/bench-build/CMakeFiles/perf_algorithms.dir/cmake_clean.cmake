@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_algorithms"
+  "../bench/perf_algorithms.pdb"
+  "CMakeFiles/perf_algorithms.dir/perf_algorithms.cpp.o"
+  "CMakeFiles/perf_algorithms.dir/perf_algorithms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

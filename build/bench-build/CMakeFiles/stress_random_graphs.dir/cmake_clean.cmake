@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/stress_random_graphs"
+  "../bench/stress_random_graphs.pdb"
+  "CMakeFiles/stress_random_graphs.dir/stress_random_graphs.cpp.o"
+  "CMakeFiles/stress_random_graphs.dir/stress_random_graphs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_random_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_main"
+  "../bench/table1_main.pdb"
+  "CMakeFiles/table1_main.dir/table1_main.cpp.o"
+  "CMakeFiles/table1_main.dir/table1_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_memory"
+  "../bench/table2_memory.pdb"
+  "CMakeFiles/table2_memory.dir/table2_memory.cpp.o"
+  "CMakeFiles/table2_memory.dir/table2_memory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/validation_tile_sim"
+  "../bench/validation_tile_sim.pdb"
+  "CMakeFiles/validation_tile_sim.dir/validation_tile_sim.cpp.o"
+  "CMakeFiles/validation_tile_sim.dir/validation_tile_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_tile_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

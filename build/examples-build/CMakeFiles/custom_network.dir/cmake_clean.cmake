@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_network"
+  "../examples/custom_network.pdb"
+  "CMakeFiles/custom_network.dir/custom_network.cpp.o"
+  "CMakeFiles/custom_network.dir/custom_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/inception_block"
+  "../examples/inception_block.pdb"
+  "CMakeFiles/inception_block.dir/inception_block.cpp.o"
+  "CMakeFiles/inception_block.dir/inception_block.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inception_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

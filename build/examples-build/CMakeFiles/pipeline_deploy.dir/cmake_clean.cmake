@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/pipeline_deploy"
+  "../examples/pipeline_deploy.pdb"
+  "CMakeFiles/pipeline_deploy.dir/pipeline_deploy.cpp.o"
+  "CMakeFiles/pipeline_deploy.dir/pipeline_deploy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/resnet_end_to_end"
+  "../examples/resnet_end_to_end.pdb"
+  "CMakeFiles/resnet_end_to_end.dir/resnet_end_to_end.cpp.o"
+  "CMakeFiles/resnet_end_to_end.dir/resnet_end_to_end.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/options.cpp" "src/CMakeFiles/lcmm.dir/cli/options.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/cli/options.cpp.o.d"
+  "/root/repo/src/core/coloring.cpp" "src/CMakeFiles/lcmm.dir/core/coloring.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/core/coloring.cpp.o.d"
+  "/root/repo/src/core/dnnk.cpp" "src/CMakeFiles/lcmm.dir/core/dnnk.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/core/dnnk.cpp.o.d"
+  "/root/repo/src/core/entity.cpp" "src/CMakeFiles/lcmm.dir/core/entity.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/core/entity.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/CMakeFiles/lcmm.dir/core/export.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/core/export.cpp.o.d"
+  "/root/repo/src/core/interference.cpp" "src/CMakeFiles/lcmm.dir/core/interference.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/core/interference.cpp.o.d"
+  "/root/repo/src/core/latency_tables.cpp" "src/CMakeFiles/lcmm.dir/core/latency_tables.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/core/latency_tables.cpp.o.d"
+  "/root/repo/src/core/lcmm.cpp" "src/CMakeFiles/lcmm.dir/core/lcmm.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/core/lcmm.cpp.o.d"
+  "/root/repo/src/core/liveness.cpp" "src/CMakeFiles/lcmm.dir/core/liveness.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/core/liveness.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/lcmm.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/prefetch.cpp" "src/CMakeFiles/lcmm.dir/core/prefetch.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/core/prefetch.cpp.o.d"
+  "/root/repo/src/core/splitting.cpp" "src/CMakeFiles/lcmm.dir/core/splitting.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/core/splitting.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/CMakeFiles/lcmm.dir/core/validate.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/core/validate.cpp.o.d"
+  "/root/repo/src/core/virtual_buffer.cpp" "src/CMakeFiles/lcmm.dir/core/virtual_buffer.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/core/virtual_buffer.cpp.o.d"
+  "/root/repo/src/exec/reference.cpp" "src/CMakeFiles/lcmm.dir/exec/reference.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/exec/reference.cpp.o.d"
+  "/root/repo/src/exec/tensor_data.cpp" "src/CMakeFiles/lcmm.dir/exec/tensor_data.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/exec/tensor_data.cpp.o.d"
+  "/root/repo/src/exec/tiled.cpp" "src/CMakeFiles/lcmm.dir/exec/tiled.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/exec/tiled.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/lcmm.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/lcmm.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/layer.cpp" "src/CMakeFiles/lcmm.dir/graph/layer.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/graph/layer.cpp.o.d"
+  "/root/repo/src/graph/tensor.cpp" "src/CMakeFiles/lcmm.dir/graph/tensor.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/graph/tensor.cpp.o.d"
+  "/root/repo/src/hw/device.cpp" "src/CMakeFiles/lcmm.dir/hw/device.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/hw/device.cpp.o.d"
+  "/root/repo/src/hw/dse.cpp" "src/CMakeFiles/lcmm.dir/hw/dse.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/hw/dse.cpp.o.d"
+  "/root/repo/src/hw/perf_model.cpp" "src/CMakeFiles/lcmm.dir/hw/perf_model.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/hw/perf_model.cpp.o.d"
+  "/root/repo/src/hw/precision.cpp" "src/CMakeFiles/lcmm.dir/hw/precision.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/hw/precision.cpp.o.d"
+  "/root/repo/src/hw/roofline.cpp" "src/CMakeFiles/lcmm.dir/hw/roofline.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/hw/roofline.cpp.o.d"
+  "/root/repo/src/hw/tiling.cpp" "src/CMakeFiles/lcmm.dir/hw/tiling.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/hw/tiling.cpp.o.d"
+  "/root/repo/src/io/text_format.cpp" "src/CMakeFiles/lcmm.dir/io/text_format.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/io/text_format.cpp.o.d"
+  "/root/repo/src/mem/ddr.cpp" "src/CMakeFiles/lcmm.dir/mem/ddr.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/mem/ddr.cpp.o.d"
+  "/root/repo/src/mem/sram.cpp" "src/CMakeFiles/lcmm.dir/mem/sram.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/mem/sram.cpp.o.d"
+  "/root/repo/src/models/googlenet.cpp" "src/CMakeFiles/lcmm.dir/models/googlenet.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/models/googlenet.cpp.o.d"
+  "/root/repo/src/models/inception_v4.cpp" "src/CMakeFiles/lcmm.dir/models/inception_v4.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/models/inception_v4.cpp.o.d"
+  "/root/repo/src/models/linear_nets.cpp" "src/CMakeFiles/lcmm.dir/models/linear_nets.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/models/linear_nets.cpp.o.d"
+  "/root/repo/src/models/mobile_nets.cpp" "src/CMakeFiles/lcmm.dir/models/mobile_nets.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/models/mobile_nets.cpp.o.d"
+  "/root/repo/src/models/random.cpp" "src/CMakeFiles/lcmm.dir/models/random.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/models/random.cpp.o.d"
+  "/root/repo/src/models/registry.cpp" "src/CMakeFiles/lcmm.dir/models/registry.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/models/registry.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/CMakeFiles/lcmm.dir/models/resnet.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/models/resnet.cpp.o.d"
+  "/root/repo/src/models/snippets.cpp" "src/CMakeFiles/lcmm.dir/models/snippets.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/models/snippets.cpp.o.d"
+  "/root/repo/src/sim/chrome_trace.cpp" "src/CMakeFiles/lcmm.dir/sim/chrome_trace.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/sim/chrome_trace.cpp.o.d"
+  "/root/repo/src/sim/energy.cpp" "src/CMakeFiles/lcmm.dir/sim/energy.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/sim/energy.cpp.o.d"
+  "/root/repo/src/sim/memory_trace.cpp" "src/CMakeFiles/lcmm.dir/sim/memory_trace.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/sim/memory_trace.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/lcmm.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/sim/report.cpp.o.d"
+  "/root/repo/src/sim/tile_sim.cpp" "src/CMakeFiles/lcmm.dir/sim/tile_sim.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/sim/tile_sim.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/CMakeFiles/lcmm.dir/sim/timeline.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/sim/timeline.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/lcmm.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/lcmm.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/lcmm.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/lcmm.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/lcmm.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_coloring.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_coloring.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_coloring.cpp.o.d"
+  "/root/repo/tests/test_dnnk.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_dnnk.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_dnnk.cpp.o.d"
+  "/root/repo/tests/test_exec.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_exec.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_exec.cpp.o.d"
+  "/root/repo/tests/test_export.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_export.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_export.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_grouped_models.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_grouped_models.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_grouped_models.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_interference.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_interference.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_interference.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_lcmm.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_lcmm.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_lcmm.cpp.o.d"
+  "/root/repo/tests/test_liveness.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_liveness.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_liveness.cpp.o.d"
+  "/root/repo/tests/test_loop_orders.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_loop_orders.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_loop_orders.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_perf_model.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_perf_model.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_perf_model.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_prefetch.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_prefetch.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_prefetch.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_splitting.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_splitting.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_splitting.cpp.o.d"
+  "/root/repo/tests/test_tile_sim.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_tile_sim.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_tile_sim.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/lcmm_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/lcmm_tests.dir/test_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

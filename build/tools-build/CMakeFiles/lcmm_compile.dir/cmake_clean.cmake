@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/lcmm_compile"
+  "../tools/lcmm_compile.pdb"
+  "CMakeFiles/lcmm_compile.dir/lcmm_compile.cpp.o"
+  "CMakeFiles/lcmm_compile.dir/lcmm_compile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcmm_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli.help "/root/repo/build/tools/lcmm_compile" "--help")
+set_tests_properties(cli.help PROPERTIES  PASS_REGULAR_EXPRESSION "usage: lcmm_compile" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.compile_pair "/root/repo/build/tools/lcmm_compile" "--model" "squeezenet" "--precision" "8")
+set_tests_properties(cli.compile_pair PROPERTIES  PASS_REGULAR_EXPRESSION "speedup \\(UMM / LCMM\\)" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.json "/root/repo/build/tools/lcmm_compile" "--model" "squeezenet" "--design" "lcmm" "--format" "json")
+set_tests_properties(cli.json PROPERTIES  PASS_REGULAR_EXPRESSION "\"latency_ms\"" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.csv "/root/repo/build/tools/lcmm_compile" "--model" "squeezenet" "--design" "umm" "--format" "csv")
+set_tests_properties(cli.csv PROPERTIES  PASS_REGULAR_EXPRESSION "network,precision,design" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.emit_graph "/root/repo/build/tools/lcmm_compile" "--model" "alexnet" "--emit-graph")
+set_tests_properties(cli.emit_graph PROPERTIES  PASS_REGULAR_EXPRESSION "graph alexnet" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.dot "/root/repo/build/tools/lcmm_compile" "--model" "alexnet" "--dot")
+set_tests_properties(cli.dot PROPERTIES  PASS_REGULAR_EXPRESSION "digraph" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.trace "/root/repo/build/tools/lcmm_compile" "--model" "squeezenet" "--design" "lcmm" "--trace")
+set_tests_properties(cli.trace PROPERTIES  PASS_REGULAR_EXPRESSION "vbuf" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.bad_option "/root/repo/build/tools/lcmm_compile" "--frobnicate")
+set_tests_properties(cli.bad_option PROPERTIES  PASS_REGULAR_EXPRESSION "error: unknown option" WILL_FAIL "FALSE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;38;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.bad_model "/root/repo/build/tools/lcmm_compile" "--model" "lenet")
+set_tests_properties(cli.bad_model PROPERTIES  PASS_REGULAR_EXPRESSION "unknown model" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;43;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.validate "/root/repo/build/tools/lcmm_compile" "--model" "squeezenet" "--precision" "8" "--validate")
+set_tests_properties(cli.validate PROPERTIES  PASS_REGULAR_EXPRESSION "plan validation: ok" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;47;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.graph_file "/root/repo/build/tools/lcmm_compile" "--graph" "/root/repo/tools/../examples/graphs/tiny_detector.lcmm" "--precision" "8")
+set_tests_properties(cli.graph_file PROPERTIES  PASS_REGULAR_EXPRESSION "tiny_detector" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;52;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.graph_file_depthwise "/root/repo/build/tools/lcmm_compile" "--graph" "/root/repo/tools/../examples/graphs/depthwise_block.lcmm" "--precision" "16" "--validate")
+set_tests_properties(cli.graph_file_depthwise PROPERTIES  PASS_REGULAR_EXPRESSION "plan validation: ok" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;59;add_test;/root/repo/tools/CMakeLists.txt;0;")
