@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "lcmm.hpp"
@@ -33,6 +34,35 @@ inline PairResult run_pair(const graph::ComputationGraph& graph,
   r.lcmm_sim = sim::refine_against_stalls(graph, r.lcmm_plan);
   r.lcmm = sim::make_report(graph, r.lcmm_plan, r.lcmm_sim);
   return r;
+}
+
+/// run_pair with compiler telemetry: collects pass spans and counters for
+/// the whole pair compile (obs/obs.hpp) and copies them into `stats_out`,
+/// so benches can assert the passes did the work they claim to measure.
+inline PairResult run_pair_with_stats(const graph::ComputationGraph& graph,
+                                      hw::Precision precision,
+                                      obs::CompileStats& stats_out,
+                                      const core::LcmmOptions& options = {}) {
+  obs::StatsSession session;
+  PairResult r = run_pair(graph, precision, options);
+  stats_out = session.stats();
+  return r;
+}
+
+/// Hard bench assertion on a compiler counter ("dnnk.dp_cells" or a bare
+/// counter name, see CompileStats::counter). Exits non-zero on failure so
+/// CI treats a silently-degenerate bench run as an error.
+inline void expect_counter_at_least(const obs::CompileStats& stats,
+                                    const std::string& name,
+                                    std::int64_t min_value) {
+  const std::int64_t value = stats.counter(name);
+  if (value < min_value) {
+    std::fprintf(stderr,
+                 "bench counter check failed: %s = %lld, expected >= %lld\n",
+                 name.c_str(), static_cast<long long>(value),
+                 static_cast<long long>(min_value));
+    std::exit(1);
+  }
 }
 
 /// The paper's benchmark suite: (table label, model registry name).

@@ -9,6 +9,9 @@
 
 int main() {
   using namespace lcmm;
+  // Collect compiler/simulator telemetry so the run can assert below that
+  // the event-driven numbers actually came from per-tile simulation.
+  obs::StatsSession stats;
   util::Table table({"net", "precision", "state", "analytical (ms)",
                      "event-driven (ms)", "delta"});
   for (const auto& [label, model_name] : bench::kSuite) {
@@ -41,5 +44,8 @@ int main() {
             << table
             << "Positive deltas are pipeline fill/coupling effects the "
                "closed form ignores.\n";
+  // 3 networks x 2 precisions x 2 states, each all layers and many tiles.
+  bench::expect_counter_at_least(stats.stats(), "tile_sim.layers", 12 * 50);
+  bench::expect_counter_at_least(stats.stats(), "tile_sim.tiles", 12 * 1000);
   return 0;
 }

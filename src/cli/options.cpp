@@ -126,6 +126,10 @@ Options parse_cli(const std::vector<std::string>& args) {
       opt.lcmm.allow_fallback_to_umm = false;
     } else if (consume_value(args, i, "--chrome-trace", value)) {
       opt.chrome_trace_path = value;
+    } else if (consume_value(args, i, "--stats-json", value)) {
+      opt.stats_json_path = value;
+    } else if (consume_value(args, i, "--compile-trace", value)) {
+      opt.compile_trace_path = value;
     } else if (arg == "--validate") {
       opt.validate = true;
     } else if (arg == "--dot") {
@@ -170,11 +174,17 @@ std::string usage() {
         "  --format text|json|csv  report format (default text)\n"
         "  --trace               print the tensor residency timeline\n"
         "  --chrome-trace PATH   write a chrome://tracing timeline JSON\n"
+        "  --stats-json PATH     write compiler pass stats (wall times,\n"
+        "                        counters, allocation decisions) as JSON\n"
+        "  --compile-trace PATH  write the compiler's own pass spans as a\n"
+        "                        chrome://tracing JSON\n"
         "  --validate            run the plan validator; fail on violations\n"
         "  --roofline            print the per-layer roofline census\n"
         "  --dot                 print the graph in Graphviz DOT\n"
         "  --emit-graph          print the graph in the .lcmm text format\n"
-        "  --verbose             compiler pass logging to stderr\n";
+        "  --verbose             debug-level compiler pass logging to stderr\n"
+        "                        (LCMM_LOG_LEVEL=debug|info|warn|error|off\n"
+        "                        sets the initial threshold)\n";
   return os.str();
 }
 

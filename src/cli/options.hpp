@@ -39,6 +39,12 @@ struct Options {
   /// When non-empty, write a Chrome trace-event JSON of the last compiled
   /// design's timeline to this path.
   std::string chrome_trace_path;
+  /// When non-empty, write the compiler's own stats tree (pass wall times,
+  /// counters, allocation decisions) as JSON to this path.
+  std::string stats_json_path;
+  /// When non-empty, write the compiler pipeline's spans as a Chrome
+  /// trace-event JSON to this path.
+  std::string compile_trace_path;
   /// Run the plan validator on every compiled plan and fail on violations.
   bool validate = false;
 };

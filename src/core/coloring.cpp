@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/scope.hpp"
+
 namespace lcmm::core {
 
 namespace {
@@ -22,10 +24,12 @@ std::int64_t total_size(const InterferenceGraph& graph,
 }  // namespace
 
 ColoringResult color_min_total_size(const InterferenceGraph& graph) {
+  LCMM_SPAN("coloring");
   const std::size_t n = graph.size();
   ColoringResult result;
   result.color_of.assign(n, -1);
   if (n == 0) return result;
+  std::int64_t candidates_tried = 0;
 
   // Largest entities first: they define buffer sizes, smaller ones pack in.
   std::vector<std::size_t> order(n);
@@ -43,6 +47,7 @@ ColoringResult color_min_total_size(const InterferenceGraph& graph) {
     std::int64_t best_cost = std::numeric_limits<std::int64_t>::max();
     std::int64_t best_slack = std::numeric_limits<std::int64_t>::max();
     for (std::size_t c = 0; c < color_size.size(); ++c) {
+      ++candidates_tried;
       const bool compatible = std::none_of(
           members[c].begin(), members[c].end(),
           [&](std::size_t other) { return graph.interferes(e, other); });
@@ -70,6 +75,10 @@ ColoringResult color_min_total_size(const InterferenceGraph& graph) {
   }
   result.num_colors = static_cast<int>(color_size.size());
   result.total_bytes = total_size(graph, result.color_of, result.num_colors);
+  LCMM_COUNT("entities", static_cast<std::int64_t>(n));
+  LCMM_COUNT("colors", result.num_colors);
+  LCMM_COUNT("candidates_tried", candidates_tried);
+  LCMM_GAUGE("total_bytes", static_cast<double>(result.total_bytes));
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/scope.hpp"
+
 namespace lcmm::core {
 
 namespace {
@@ -60,10 +62,14 @@ AllocatorResult dnnk_allocate(const InterferenceGraph& graph,
                               const LatencyTables& tables,
                               std::int64_t capacity_bytes,
                               const AllocatorOptions& options) {
+  LCMM_SPAN("dnnk");
   const std::size_t n = buffers.size();
   const std::int64_t w_cap = capacity_bytes / options.granularity_bytes;
   if (w_cap < 0) throw std::invalid_argument("dnnk_allocate: negative capacity");
   const std::size_t width = static_cast<std::size_t>(w_cap) + 1;
+  LCMM_COUNT("buffers", static_cast<std::int64_t>(n));
+  LCMM_COUNT("dp_cells", static_cast<std::int64_t>(n * width));
+  LCMM_GAUGE("capacity_bytes", static_cast<double>(capacity_bytes));
 
   // Lookup: (layer, source) -> owning buffer index, for the compensation
   // reads from pbuf_table.
@@ -140,6 +146,18 @@ AllocatorResult dnnk_allocate(const InterferenceGraph& graph,
       j -= quantized_units(buffers[i].bytes, options);
     }
   }
+  if (obs::current()) {
+    for (std::size_t b = 0; b < n; ++b) {
+      const char* reason =
+          selection[b] ? "knapsack-selected"
+          : quantized_units(buffers[b].bytes, options) > w_cap
+              ? "exceeds-capacity"
+              : "knapsack-spill";
+      LCMM_COUNT(selection[b] ? "selected" : "spilled", 1);
+      LCMM_DECIDE("vbuf#" + std::to_string(buffers[b].id), buffers[b].bytes,
+                  selection[b], reason);
+    }
+  }
   return evaluate_selection(graph, buffers, tables, selection, options);
 }
 
@@ -148,7 +166,9 @@ AllocatorResult greedy_allocate(const InterferenceGraph& graph,
                                 const LatencyTables& tables,
                                 std::int64_t capacity_bytes,
                                 const AllocatorOptions& options) {
+  LCMM_SPAN("greedy");
   const std::size_t n = buffers.size();
+  LCMM_COUNT("buffers", static_cast<std::int64_t>(n));
   std::vector<double> value(n, 0.0);
   for (std::size_t b = 0; b < n; ++b) {
     for (std::size_t e : buffers[b].members) {
@@ -192,12 +212,15 @@ AllocatorResult exact_allocate(const InterferenceGraph& graph,
     throw std::invalid_argument("exact_allocate: too many buffers (" +
                                 std::to_string(n) + ")");
   }
+  LCMM_SPAN("exact");
+  LCMM_COUNT("buffers", static_cast<std::int64_t>(n));
   std::vector<bool> selection(n, false);
   AllocatorResult best =
       evaluate_selection(graph, buffers, tables, selection, options);
 
   auto recurse = [&](auto&& self, std::size_t i, std::int64_t used) -> void {
     if (i == n) {
+      LCMM_COUNT("selections_evaluated", 1);
       AllocatorResult candidate =
           evaluate_selection(graph, buffers, tables, selection, options);
       if (candidate.gain_s > best.gain_s) best = std::move(candidate);

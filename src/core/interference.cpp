@@ -2,17 +2,27 @@
 
 #include <stdexcept>
 
+#include "obs/scope.hpp"
+
 namespace lcmm::core {
 
 InterferenceGraph::InterferenceGraph(std::vector<TensorEntity> entities)
     : entities_(std::move(entities)) {
+  LCMM_SPAN("interference");
   const std::size_t n = entities_.size();
   adj_.assign(n * (n + 1) / 2, 0);
+  std::int64_t edges = 0;
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = a + 1; b < n; ++b) {
-      if (entities_[a].overlaps(entities_[b])) adj_[index(a, b)] = 1;
+      if (entities_[a].overlaps(entities_[b])) {
+        adj_[index(a, b)] = 1;
+        ++edges;
+      }
     }
   }
+  LCMM_COUNT("entities", static_cast<std::int64_t>(n));
+  LCMM_COUNT("pairs_checked", static_cast<std::int64_t>(n > 0 ? n * (n - 1) / 2 : 0));
+  LCMM_COUNT("edges", edges);
 }
 
 std::size_t InterferenceGraph::index(std::size_t a, std::size_t b) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/scope.hpp"
 #include "util/logging.hpp"
 
 namespace lcmm::core {
@@ -77,6 +78,7 @@ LcmmCompiler::LcmmCompiler(hw::FpgaDevice device, hw::Precision precision,
 
 void LcmmCompiler::place_physical(AllocationPlan& plan,
                                   const graph::ComputationGraph& graph) const {
+  LCMM_SPAN("place");
   mem::SramPools pools(device_.bram36_total, device_.uram_total);
   plan.tile_buffers =
       hw::tile_buffer_bytes(graph, plan.design.array, plan.design.tile,
@@ -104,12 +106,16 @@ void LcmmCompiler::place_physical(AllocationPlan& plan,
       // Quantization edge: demote the buffer and its tensors.
       LCMM_WARN() << "demoting buffer " << plan.buffers[b].id
                   << " (placement failed)";
+      LCMM_COUNT("demoted", 1);
+      LCMM_DECIDE("vbuf#" + std::to_string(plan.buffers[b].id),
+                  plan.buffers[b].bytes, false, "sram-placement-failed");
       plan.buffer_on_chip[b] = false;
       for (std::size_t e : plan.buffers[b].members) {
         plan.state.set(plan.entities[e].key, false);
       }
       continue;
     }
+    LCMM_COUNT("placed", 1);
     plan.physical.push_back(PhysicalBuffer{plan.buffers[b], *alloc});
     plan.tensor_buffer_bytes += plan.buffers[b].bytes;
   }
@@ -138,9 +144,20 @@ void LcmmCompiler::place_physical(AllocationPlan& plan,
       const int need = mem::SramPools::blocks_needed(bytes, mem::SramPool::kUram);
       const int margin = static_cast<int>(
           (1.0 - options_.sram_capacity_fraction) * pools.uram_total());
-      if (pools.uram_used() + need > pools.uram_total() - margin) continue;
+      if (pools.uram_used() + need > pools.uram_total() - margin) {
+        LCMM_DECIDE(graph.layer(layer).name + ".wt", bytes, false,
+                    "uram-margin");
+        continue;
+      }
       auto alloc = pools.allocate(bytes, mem::SramPool::kUram);
-      if (!alloc) continue;
+      if (!alloc) {
+        LCMM_DECIDE(graph.layer(layer).name + ".wt", bytes, false,
+                    "uram-fragmentation");
+        continue;
+      }
+      LCMM_COUNT("promoted_weights", 1);
+      LCMM_DECIDE(graph.layer(layer).name + ".wt", bytes, true,
+                  "residency-promotion");
       plan.physical.push_back(
           PhysicalBuffer{VirtualBuffer{-1, bytes, {}, 0, 0}, *alloc});
       plan.tensor_buffer_bytes += bytes;
@@ -156,6 +173,7 @@ void LcmmCompiler::place_physical(AllocationPlan& plan,
 AllocationPlan LcmmCompiler::allocate_under_design(
     const graph::ComputationGraph& graph,
     const hw::AcceleratorDesign& design) const {
+  LCMM_SPAN("allocate");
   hw::PerfModel model(graph, design);
   LatencyTables tables(model);
 
@@ -188,6 +206,7 @@ AllocationPlan LcmmCompiler::allocate_under_design(
   const std::int64_t capacity = static_cast<std::int64_t>(
       static_cast<double>(std::max<std::int64_t>(0, free_bytes)) *
       options_.sram_capacity_fraction);
+  LCMM_GAUGE("capacity_bytes", static_cast<double>(capacity));
 
   InterferenceGraph ig(std::move(entities));
   AllocatorResult allocation;
@@ -207,6 +226,11 @@ AllocationPlan LcmmCompiler::allocate_under_design(
   plan.buffers = std::move(buffers);
   plan.buffer_on_chip = std::move(allocation.buffer_on_chip);
   plan.state = std::move(allocation.state);
+  LCMM_COUNT("entities", static_cast<std::int64_t>(plan.entities.size()));
+  LCMM_COUNT("buffers", static_cast<std::int64_t>(plan.buffers.size()));
+  LCMM_COUNT("on_chip_buffers",
+             static_cast<std::int64_t>(std::count(
+                 plan.buffer_on_chip.begin(), plan.buffer_on_chip.end(), true)));
 
   place_physical(plan, graph);
   propagate_output_residency(graph, plan.state);
@@ -228,12 +252,19 @@ AllocationPlan LcmmCompiler::compile_with_design(
 }
 
 AllocationPlan LcmmCompiler::compile(const graph::ComputationGraph& graph) const {
+  // The top-level compile pipeline (paper Fig. 4); every pass span nests
+  // under this one.
+  LCMM_SPAN("pipeline");
   hw::DseOptions dse_options = options_.dse;
   dse_options.heavy_uram_use = true;  // LCMM designs lean on URAM
   const hw::Dse dse(device_, precision_, dse_options);
 
   // Pass 1: best design assuming uniform management.
-  hw::DseResult seed = dse.explore(graph);
+  hw::DseResult seed = [&] {
+    LCMM_SPAN("dse");
+    return dse.explore(graph);
+  }();
+  LCMM_COUNT("dse_rounds", 1);
   AllocationPlan plan = allocate_under_design(graph, seed.design);
 
   // Pass 2+: re-optimize the design under the allocation's on-chip state;
@@ -245,13 +276,19 @@ AllocationPlan LcmmCompiler::compile(const graph::ComputationGraph& graph) const
       LatencyTables tables(model);
       return tables.total_latency(state);
     };
-    hw::DseResult refined = dse.explore(graph, objective);
+    hw::DseResult refined = [&] {
+      LCMM_SPAN("dse");
+      return dse.explore(graph, objective);
+    }();
+    LCMM_COUNT("dse_rounds", 1);
     if (refined.design.tile == plan.design.tile &&
         refined.design.array == plan.design.array) {
+      LCMM_COUNT("dse_converged", 1);
       break;  // converged
     }
     AllocationPlan refined_plan = allocate_under_design(graph, refined.design);
     if (refined_plan.est_latency_s < plan.est_latency_s) {
+      LCMM_COUNT("dse_refinements_kept", 1);
       plan = std::move(refined_plan);
     } else {
       break;
@@ -266,6 +303,8 @@ AllocationPlan LcmmCompiler::compile(const graph::ComputationGraph& graph) const
     LCMM_INFO() << "LCMM(" << graph.name()
                 << "): allocation gains below the URAM clock penalty; "
                    "keeping the uniform design";
+    LCMM_COUNT("fallback_to_umm", 1);
+    LCMM_DECIDE(graph.name(), 0, false, "umm-fallback");
     baseline.is_umm = false;
     return baseline;
   }
@@ -276,10 +315,14 @@ AllocationPlan LcmmCompiler::compile(const graph::ComputationGraph& graph) const
 }
 
 AllocationPlan LcmmCompiler::compile_umm(const graph::ComputationGraph& graph) const {
+  LCMM_SPAN("umm_baseline");
   hw::DseOptions dse_options = options_.dse;
   dse_options.heavy_uram_use = false;
   const hw::Dse dse(device_, precision_, dse_options);
-  const hw::DseResult seed = dse.explore(graph);
+  const hw::DseResult seed = [&] {
+    LCMM_SPAN("dse");
+    return dse.explore(graph);
+  }();
 
   hw::PerfModel model(graph, seed.design);
   AllocationPlan plan;

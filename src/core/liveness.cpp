@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/scope.hpp"
+
 namespace lcmm::core {
 
 int value_def_step(const graph::ComputationGraph& graph, graph::ValueId value) {
@@ -21,6 +23,7 @@ int value_last_use_step(const graph::ComputationGraph& graph,
 
 std::vector<TensorEntity> build_feature_entities(const hw::PerfModel& model,
                                                  const LivenessOptions& options) {
+  LCMM_SPAN("liveness");
   const graph::ComputationGraph& graph = model.graph();
   std::vector<TensorEntity> entities;
   // Activations scale with the batch; weight entity sizes do not.
@@ -29,8 +32,14 @@ std::vector<TensorEntity> build_feature_entities(const hw::PerfModel& model,
 
   for (const graph::Layer& layer : graph.layers()) {
     const hw::LayerTiming& t = model.timing(layer.id);
-    if (!options.include_compute_bound && !t.memory_bound()) continue;
-    if (!options.include_pools && !layer.is_conv()) continue;
+    if (!options.include_compute_bound && !t.memory_bound()) {
+      LCMM_COUNT("skipped_compute_bound", 1);
+      continue;
+    }
+    if (!options.include_pools && !layer.is_conv()) {
+      LCMM_COUNT("skipped_non_conv", 1);
+      continue;
+    }
     const int step = graph.step_of(layer.id);
 
     // t_if(i): the consumed value, live from its production to this read.
@@ -71,6 +80,7 @@ std::vector<TensorEntity> build_feature_entities(const hw::PerfModel& model,
       entities.push_back(std::move(e));
     }
   }
+  LCMM_COUNT("entities", static_cast<std::int64_t>(entities.size()));
   return entities;
 }
 

@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/scope.hpp"
 #include "sim/timeline.hpp"
 #include "util/logging.hpp"
 
@@ -147,6 +148,9 @@ hw::FpgaDevice PipelinePartitioner::device_slice(int num_segments) const {
 
 PipelinePlan PipelinePartitioner::partition(
     const graph::ComputationGraph& graph, int num_segments) const {
+  // Named "partition" (not "pipeline"): the LcmmCompiler driver owns the
+  // "pipeline" span, and this pass compiles every segment through it.
+  LCMM_SPAN("partition");
   const int steps = static_cast<int>(graph.num_layers());
   if (num_segments < 1 || num_segments > steps) {
     throw std::invalid_argument("partition: bad num_segments");
@@ -170,6 +174,9 @@ PipelinePlan PipelinePartitioner::partition(
   std::vector<int> cuts = legal_cut_points(graph);
   cuts.push_back(steps - 1);
   const int n = static_cast<int>(cuts.size());
+  LCMM_COUNT("legal_cuts", n);
+  LCMM_COUNT("dp_cells",
+             static_cast<std::int64_t>(num_segments) * n * n);
   if (num_segments > n) {
     throw std::invalid_argument("partition: only " + std::to_string(n) +
                                 " legal segments available");
@@ -234,6 +241,7 @@ PipelinePlan PipelinePartitioner::partition(
     plan.bottleneck_s = std::max(plan.bottleneck_s, segment.latency_s);
     plan.latency_s += segment.latency_s;
     from = boundary + 1;
+    LCMM_COUNT("segments", 1);
     plan.segments.push_back(std::move(segment));
   }
   LCMM_INFO() << "pipeline(" << graph.name() << ", K=" << num_segments

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/scope.hpp"
+
 namespace lcmm::core {
 
 namespace {
@@ -32,6 +34,8 @@ int PrefetchResult::num_fully_hidden() const {
 
 PrefetchResult build_prefetch_schedule(const hw::PerfModel& model,
                                        const LivenessOptions& options) {
+  LCMM_SPAN("prefetch");
+  std::int64_t backtrace_steps = 0;
   const graph::ComputationGraph& graph = model.graph();
   const std::vector<graph::LayerId>& order = graph.topo_order();
   const int bpe = hw::bytes_per_elem(model.design().precision);
@@ -61,6 +65,7 @@ PrefetchResult build_prefetch_schedule(const hw::PerfModel& model,
     double elapsed = 0.0;
     int start = kBeforeExecution;
     for (int s = k - 1; s >= 0; --s) {
+      ++backtrace_steps;
       elapsed += step_latency[static_cast<std::size_t>(s)];
       if (elapsed >= edge.load_seconds) {
         start = s;
@@ -71,7 +76,11 @@ PrefetchResult build_prefetch_schedule(const hw::PerfModel& model,
     edge.window_seconds = elapsed;
     edges.push_back(edge);
   }
-  return PrefetchResult(std::move(edges));
+  PrefetchResult result(std::move(edges));
+  LCMM_COUNT("edges", static_cast<std::int64_t>(result.edges().size()));
+  LCMM_COUNT("fully_hidden", result.num_fully_hidden());
+  LCMM_COUNT("backtrace_steps", backtrace_steps);
+  return result;
 }
 
 std::vector<TensorEntity> build_weight_entities(const hw::PerfModel& model,

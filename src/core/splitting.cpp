@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/scope.hpp"
 #include "util/logging.hpp"
 
 namespace lcmm::core {
@@ -48,6 +49,7 @@ SplitOutcome split_and_reallocate(InterferenceGraph& graph,
                                   std::int64_t capacity_bytes,
                                   const AllocatorOptions& alloc_options,
                                   const SplitOptions& split_options) {
+  LCMM_SPAN("splitting");
   SplitOutcome outcome;
   outcome.buffers =
       build_virtual_buffers(graph, color_min_total_size(graph));
@@ -55,6 +57,7 @@ SplitOutcome split_and_reallocate(InterferenceGraph& graph,
                                      capacity_bytes, alloc_options);
 
   for (int iter = 0; iter < split_options.max_iterations; ++iter) {
+    LCMM_COUNT("iterations", 1);
     // Largest spilled shared buffer first (the paper's greedy rationale).
     int candidate = -1;
     for (std::size_t b = 0; b < outcome.buffers.size(); ++b) {
@@ -83,14 +86,17 @@ SplitOutcome split_and_reallocate(InterferenceGraph& graph,
     AllocatorResult allocation =
         dnnk_allocate(graph, buffers, tables, capacity_bytes, alloc_options);
     ++outcome.splits_performed;
+    LCMM_COUNT("false_edges_added", 1);
     LCMM_DEBUG() << "buffer splitting iter " << iter << ": gain "
                  << outcome.allocation.gain_s * 1e3 << " ms -> "
                  << allocation.gain_s * 1e3 << " ms";
     if (allocation.gain_s > outcome.allocation.gain_s) {
+      LCMM_COUNT("improvements", 1);
       outcome.buffers = std::move(buffers);
       outcome.allocation = std::move(allocation);
     }
   }
+  LCMM_COUNT("splits_performed", outcome.splits_performed);
   return outcome;
 }
 

@@ -18,6 +18,7 @@
 #include "hw/dse.hpp"         // IWYU pragma: export
 #include "hw/roofline.hpp"    // IWYU pragma: export
 #include "models/models.hpp"  // IWYU pragma: export
+#include "obs/obs.hpp"        // IWYU pragma: export
 #include "sim/memory_trace.hpp"  // IWYU pragma: export
 #include "sim/report.hpp"        // IWYU pragma: export
 #include "sim/timeline.hpp"      // IWYU pragma: export

@@ -1,0 +1,132 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <map>
+
+#include "sim/chrome_trace.hpp"
+
+namespace lcmm::obs {
+
+const char* const kCorePasses[7] = {"liveness", "interference", "coloring",
+                                    "prefetch", "dnnk",         "splitting",
+                                    "pipeline"};
+
+namespace {
+
+struct PassAggregate {
+  double wall_s = 0.0;
+  int calls = 0;
+  std::map<std::string, std::int64_t> counters;
+};
+
+std::map<std::string, PassAggregate> aggregate_passes(
+    const CompileStats& stats) {
+  std::map<std::string, PassAggregate> passes;
+  for (const char* name : kCorePasses) passes[name];  // stable schema
+  for (const Span& span : stats.spans()) {
+    PassAggregate& agg = passes[span.name];
+    agg.wall_s += span.dur_s;
+    ++agg.calls;
+    for (const auto& [counter, value] : span.counters) {
+      agg.counters[counter] += value;
+    }
+  }
+  return passes;
+}
+
+}  // namespace
+
+util::Json stats_to_json(const CompileStats& stats) {
+  util::Json root = util::Json::object();
+  root["schema"] = "lcmm-compile-stats-v1";
+  root["elapsed_s"] = stats.elapsed_s();
+
+  util::Json passes = util::Json::object();
+  for (const auto& [name, agg] : aggregate_passes(stats)) {
+    util::Json pass = util::Json::object();
+    pass["wall_s"] = agg.wall_s;
+    pass["calls"] = agg.calls;
+    util::Json counters = util::Json::object();
+    for (const auto& [counter, value] : agg.counters) counters[counter] = value;
+    pass["counters"] = std::move(counters);
+    passes[name] = std::move(pass);
+  }
+  root["passes"] = std::move(passes);
+
+  util::Json spans = util::Json::array();
+  for (std::size_t i = 0; i < stats.spans().size(); ++i) {
+    const Span& span = stats.spans()[i];
+    util::Json s = util::Json::object();
+    s["id"] = i;
+    s["name"] = span.name;
+    s["parent"] = span.parent;
+    s["depth"] = span.depth;
+    s["start_us"] = span.start_s * 1e6;
+    s["dur_us"] = span.dur_s * 1e6;
+    if (!span.counters.empty()) {
+      util::Json counters = util::Json::object();
+      for (const auto& [counter, value] : span.counters) {
+        counters[counter] = value;
+      }
+      s["counters"] = std::move(counters);
+    }
+    if (!span.gauges.empty()) {
+      util::Json gauges = util::Json::object();
+      for (const auto& [gauge, value] : span.gauges) gauges[gauge] = value;
+      s["gauges"] = std::move(gauges);
+    }
+    spans.push(std::move(s));
+  }
+  root["spans"] = std::move(spans);
+
+  if (!stats.root_counters().empty()) {
+    util::Json counters = util::Json::object();
+    for (const auto& [name, value] : stats.root_counters()) {
+      counters[name] = value;
+    }
+    root["counters"] = std::move(counters);
+  }
+
+  util::Json decisions = util::Json::array();
+  for (const Decision& d : stats.decisions()) {
+    util::Json j = util::Json::object();
+    j["pass"] = d.pass;
+    j["subject"] = d.subject;
+    j["bytes"] = d.bytes;
+    j["accepted"] = d.accepted;
+    j["reason"] = d.reason;
+    decisions.push(std::move(j));
+  }
+  root["decisions"] = std::move(decisions);
+  return root;
+}
+
+util::Json stats_to_chrome_trace(const CompileStats& stats) {
+  sim::TraceEventWriter writer;
+  writer.set_track_name(0, "lcmm compiler");
+  for (const Span& span : stats.spans()) {
+    writer.add_complete_event(span.name, 0, span.start_s, span.dur_s);
+  }
+  return std::move(writer).finish();
+}
+
+namespace {
+void write_file(const util::Json& json, const std::string& path, int indent) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  out << json.dump(indent);
+}
+}  // namespace
+
+void write_stats_json(const CompileStats& stats, const std::string& path) {
+  write_file(stats_to_json(stats), path, 2);
+}
+
+void write_compile_trace(const CompileStats& stats, const std::string& path) {
+  // Compact: trace viewers stream it, humans do not read it.
+  write_file(stats_to_chrome_trace(stats), path, -1);
+}
+
+}  // namespace lcmm::obs

@@ -1,0 +1,30 @@
+// Machine-readable exports of a CompileStats registry:
+//   - stats_to_json: the full stats tree (schema "lcmm-compile-stats-v1";
+//     see docs/observability.md) for CI regression and DSE sweeps,
+//   - stats_to_chrome_trace: the compiler pipeline's own spans in Trace
+//     Event Format, viewable in chrome://tracing / Perfetto.
+#pragma once
+
+#include <string>
+
+#include "obs/stats.hpp"
+#include "util/json.hpp"
+
+namespace lcmm::obs {
+
+/// The known compiler passes, in pipeline order. stats_to_json reports a
+/// per-pass aggregate for each of these (plus any other span names seen).
+extern const char* const kCorePasses[7];
+
+/// Full stats tree: schema tag, per-pass aggregates (wall time, calls,
+/// counters), the raw span tree, and the decision log.
+util::Json stats_to_json(const CompileStats& stats);
+
+/// The span tree as Trace Event Format complete events on one track.
+util::Json stats_to_chrome_trace(const CompileStats& stats);
+
+/// File writers; throw std::runtime_error when the path is unwritable.
+void write_stats_json(const CompileStats& stats, const std::string& path);
+void write_compile_trace(const CompileStats& stats, const std::string& path);
+
+}  // namespace lcmm::obs

@@ -1,0 +1,11 @@
+// Umbrella header for the compiler observability subsystem.
+//
+//   obs::StatsSession session;              // enable collection
+//   auto plan = compiler.compile(graph);    // passes record spans/counters
+//   obs::write_stats_json(session.stats(), "stats.json");
+//   obs::write_compile_trace(session.stats(), "trace.json");
+#pragma once
+
+#include "obs/export.hpp"  // IWYU pragma: export
+#include "obs/scope.hpp"   // IWYU pragma: export
+#include "obs/stats.hpp"   // IWYU pragma: export

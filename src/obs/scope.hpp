@@ -1,0 +1,50 @@
+// Instrumentation macros for the compiler passes.
+//
+// All of them compile down to a load of the global sink pointer and a
+// branch when collection is disabled (no StatsSession alive), so hot loops
+// in the passes can stay instrumented unconditionally:
+//
+//   void my_pass(...) {
+//     LCMM_SPAN("my_pass");                 // RAII wall-clock span
+//     for (...) LCMM_COUNT("cells", 1);     // counter on the open span
+//     LCMM_GAUGE("capacity_bytes", cap);    // last-write-wins gauge
+//     LCMM_DECIDE(name, bytes, false, "capacity");  // allocation decision
+//   }
+#pragma once
+
+#include "obs/stats.hpp"
+
+#define LCMM_OBS_CONCAT_INNER(a, b) a##b
+#define LCMM_OBS_CONCAT(a, b) LCMM_OBS_CONCAT_INNER(a, b)
+
+/// Opens a named span for the rest of the enclosing scope.
+#define LCMM_SPAN(name) \
+  ::lcmm::obs::ScopedSpan LCMM_OBS_CONCAT(lcmm_obs_span_, __LINE__)(name)
+
+/// Adds `delta` to counter `name` on the innermost open span.
+#define LCMM_COUNT(name, delta)                                \
+  do {                                                         \
+    if (::lcmm::obs::CompileStats* lcmm_obs_sink_ =            \
+            ::lcmm::obs::current()) {                          \
+      lcmm_obs_sink_->count((name), (delta));                  \
+    }                                                          \
+  } while (0)
+
+/// Sets gauge `name` on the innermost open span.
+#define LCMM_GAUGE(name, value)                                \
+  do {                                                         \
+    if (::lcmm::obs::CompileStats* lcmm_obs_sink_ =            \
+            ::lcmm::obs::current()) {                          \
+      lcmm_obs_sink_->gauge((name), (value));                  \
+    }                                                          \
+  } while (0)
+
+/// Records an allocation decision (subject, bytes, accepted, reason).
+#define LCMM_DECIDE(subject, bytes, accepted, reason)          \
+  do {                                                         \
+    if (::lcmm::obs::CompileStats* lcmm_obs_sink_ =            \
+            ::lcmm::obs::current()) {                          \
+      lcmm_obs_sink_->decide((subject), (bytes), (accepted),   \
+                             (reason));                        \
+    }                                                          \
+  } while (0)

@@ -1,0 +1,138 @@
+#include "obs/stats.hpp"
+
+#include <stdexcept>
+
+namespace lcmm::obs {
+
+namespace {
+CompileStats* g_current = nullptr;
+}  // namespace
+
+CompileStats* current() { return g_current; }
+
+CompileStats* set_current(CompileStats* stats) {
+  CompileStats* previous = g_current;
+  g_current = stats;
+  return previous;
+}
+
+CompileStats::CompileStats() : epoch_(Clock::now()) {}
+
+double CompileStats::now_s() const {
+  return std::chrono::duration<double>(Clock::now() - epoch_).count();
+}
+
+int CompileStats::begin_span(std::string name) {
+  Span span;
+  span.name = std::move(name);
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.depth = static_cast<int>(open_.size());
+  span.start_s = now_s();
+  span.open = true;
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_.push_back(id);
+  return id;
+}
+
+void CompileStats::end_span(int id) {
+  if (id < 0 || id >= static_cast<int>(spans_.size())) {
+    throw std::out_of_range("CompileStats::end_span: bad span id");
+  }
+  // Close everything the span still has open under it (exceptions skipping
+  // inner end_span calls must not wedge the stack), then the span itself.
+  const double end = now_s();
+  while (!open_.empty()) {
+    const int top = open_.back();
+    open_.pop_back();
+    Span& span = spans_[static_cast<std::size_t>(top)];
+    span.dur_s = end - span.start_s;
+    span.open = false;
+    if (top == id) return;
+  }
+  throw std::logic_error("CompileStats::end_span: span already closed");
+}
+
+void CompileStats::count(const std::string& name, std::int64_t delta) {
+  if (open_.empty()) {
+    root_counters_[name] += delta;
+  } else {
+    spans_[static_cast<std::size_t>(open_.back())].counters[name] += delta;
+  }
+}
+
+void CompileStats::gauge(const std::string& name, double value) {
+  if (open_.empty()) return;
+  spans_[static_cast<std::size_t>(open_.back())].gauges[name] = value;
+}
+
+void CompileStats::decide(std::string subject, std::int64_t bytes,
+                          bool accepted, std::string reason) {
+  Decision d;
+  d.pass = std::string(current_span_name());
+  d.subject = std::move(subject);
+  d.bytes = bytes;
+  d.accepted = accepted;
+  d.reason = std::move(reason);
+  decisions_.push_back(std::move(d));
+}
+
+int CompileStats::current_span() const {
+  return open_.empty() ? -1 : open_.back();
+}
+
+std::string_view CompileStats::current_span_name() const {
+  if (open_.empty()) return {};
+  return spans_[static_cast<std::size_t>(open_.back())].name;
+}
+
+std::int64_t CompileStats::counter(std::string_view name) const {
+  // "span.counter" restricts the sum to spans with that name; a bare
+  // counter name sums over every span plus the root scope. Counter names
+  // themselves never contain dots (enforced by convention at call sites).
+  const std::size_t dot = name.find('.');
+  const std::string span_filter(dot == std::string_view::npos
+                                    ? std::string_view{}
+                                    : name.substr(0, dot));
+  const std::string key(dot == std::string_view::npos ? name
+                                                      : name.substr(dot + 1));
+  std::int64_t total = 0;
+  for (const Span& span : spans_) {
+    if (!span_filter.empty() && span.name != span_filter) continue;
+    const auto it = span.counters.find(key);
+    if (it != span.counters.end()) total += it->second;
+  }
+  if (span_filter.empty()) {
+    const auto it = root_counters_.find(key);
+    if (it != root_counters_.end()) total += it->second;
+  }
+  return total;
+}
+
+double CompileStats::span_seconds(std::string_view name) const {
+  double total = 0.0;
+  for (const Span& span : spans_) {
+    if (span.name == name) total += span.open ? now_s() - span.start_s : span.dur_s;
+  }
+  return total;
+}
+
+int CompileStats::span_count(std::string_view name) const {
+  int n = 0;
+  for (const Span& span : spans_) n += span.name == name;
+  return n;
+}
+
+std::map<std::string, std::int64_t> CompileStats::aggregate_counters() const {
+  std::map<std::string, std::int64_t> all = root_counters_;
+  for (const Span& span : spans_) {
+    for (const auto& [name, value] : span.counters) {
+      all[span.name + "." + name] += value;
+    }
+  }
+  return all;
+}
+
+double CompileStats::elapsed_s() const { return now_s(); }
+
+}  // namespace lcmm::obs

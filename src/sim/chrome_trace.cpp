@@ -2,8 +2,6 @@
 
 #include <fstream>
 
-#include "util/json.hpp"
-
 namespace lcmm::sim {
 
 namespace {
@@ -12,53 +10,58 @@ constexpr int kIfTrack = 1;
 constexpr int kWtTrack = 2;
 constexpr int kOfTrack = 3;
 constexpr int kStallTrack = 4;
+}  // namespace
 
-void emit(util::Json& events, const std::string& name, int tid,
-          double start_s, double dur_s) {
+void TraceEventWriter::set_track_name(int tid, const std::string& name) {
+  util::Json meta = util::Json::object();
+  meta["name"] = "thread_name";
+  meta["ph"] = "M";
+  meta["pid"] = 0;
+  meta["tid"] = tid;
+  util::Json args = util::Json::object();
+  args["name"] = name;
+  meta["args"] = std::move(args);
+  events_.push(std::move(meta));
+}
+
+void TraceEventWriter::add_complete_event(const std::string& name, int tid,
+                                          double start_s, double dur_s) {
   if (dur_s <= 0.0) return;
   util::Json e = util::Json::object();
   e["name"] = name;
   e["ph"] = "X";
   e["pid"] = 0;
   e["tid"] = tid;
-  e["ts"] = start_s * 1e6;   // microseconds
+  e["ts"] = start_s * 1e6;  // microseconds
   e["dur"] = dur_s * 1e6;
-  events.push(std::move(e));
+  events_.push(std::move(e));
 }
-}  // namespace
+
+util::Json TraceEventWriter::finish() && {
+  util::Json root = util::Json::object();
+  root["traceEvents"] = std::move(events_);
+  root["displayTimeUnit"] = "ms";
+  return root;
+}
 
 std::string to_chrome_trace(const graph::ComputationGraph& graph,
                             const SimResult& sim) {
-  util::Json events = util::Json::array();
-  // Track name metadata.
+  TraceEventWriter writer;
   const std::pair<int, const char*> tracks[] = {
       {kComputeTrack, "PE array"},   {kIfTrack, "DRAM: input features"},
       {kWtTrack, "DRAM: weights"},   {kOfTrack, "DRAM: output features"},
       {kStallTrack, "prefetch stalls"}};
-  for (const auto& [tid, name] : tracks) {
-    util::Json meta = util::Json::object();
-    meta["name"] = "thread_name";
-    meta["ph"] = "M";
-    meta["pid"] = 0;
-    meta["tid"] = tid;
-    util::Json args = util::Json::object();
-    args["name"] = name;
-    meta["args"] = std::move(args);
-    events.push(std::move(meta));
-  }
+  for (const auto& [tid, name] : tracks) writer.set_track_name(tid, name);
   for (const LayerExecution& e : sim.layers) {
     const std::string& name = graph.layer(e.layer).name;
-    emit(events, name, kComputeTrack, e.start_s, e.compute_s);
-    emit(events, name + ".if", kIfTrack, e.start_s, e.if_s);
-    emit(events, name + ".wt", kWtTrack, e.start_s, e.wt_s);
-    emit(events, name + ".of", kOfTrack, e.start_s, e.of_s);
-    emit(events, name + ".stall", kStallTrack, e.start_s - e.stall_s,
-         e.stall_s);
+    writer.add_complete_event(name, kComputeTrack, e.start_s, e.compute_s);
+    writer.add_complete_event(name + ".if", kIfTrack, e.start_s, e.if_s);
+    writer.add_complete_event(name + ".wt", kWtTrack, e.start_s, e.wt_s);
+    writer.add_complete_event(name + ".of", kOfTrack, e.start_s, e.of_s);
+    writer.add_complete_event(name + ".stall", kStallTrack,
+                              e.start_s - e.stall_s, e.stall_s);
   }
-  util::Json root = util::Json::object();
-  root["traceEvents"] = std::move(events);
-  root["displayTimeUnit"] = "ms";
-  return root.dump(-1);
+  return std::move(writer).finish().dump(-1);
 }
 
 void write_chrome_trace(const graph::ComputationGraph& graph,

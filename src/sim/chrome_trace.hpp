@@ -1,13 +1,32 @@
-// Chrome trace-event export of a simulated timeline: open the file in
-// chrome://tracing or https://ui.perfetto.dev to see per-layer compute and
-// the three DRAM streams as parallel tracks, stalls included.
+// Chrome trace-event export: open the produced JSON in chrome://tracing or
+// https://ui.perfetto.dev. Two producers share the machinery:
+//   - the simulated accelerator timeline (per-layer compute + DRAM streams),
+//   - the compiler's own pass spans (obs/export.hpp).
 #pragma once
 
 #include <string>
 
 #include "sim/timeline.hpp"
+#include "util/json.hpp"
 
 namespace lcmm::sim {
+
+/// Incremental builder for Trace Event Format JSON (the chrome://tracing
+/// interchange format): named tracks, complete ("X") duration events, and
+/// the enclosing root object.
+class TraceEventWriter {
+ public:
+  /// Names the track `tid` (rendered as a thread lane).
+  void set_track_name(int tid, const std::string& name);
+  /// Adds a complete event; zero/negative durations are dropped.
+  void add_complete_event(const std::string& name, int tid, double start_s,
+                          double dur_s);
+  /// The root trace object ({"traceEvents": [...], ...}).
+  util::Json finish() &&;
+
+ private:
+  util::Json events_ = util::Json::array();
+};
 
 /// Renders the simulation as Trace Event Format JSON (complete events).
 /// Tracks: compute, IF stream, WT stream, OF stream, prefetch stalls.

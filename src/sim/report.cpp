@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/scope.hpp"
+
 namespace lcmm::sim {
 
 namespace {
@@ -31,6 +33,8 @@ std::int64_t estimate_luts(const core::AllocationPlan& plan) {
 
 DesignReport make_report(const graph::ComputationGraph& graph,
                          const core::AllocationPlan& plan, const SimResult& sim) {
+  LCMM_SPAN("report");
+  LCMM_COUNT("reports", 1);
   DesignReport r;
   r.network = graph.name();
   r.precision = plan.design.precision;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/scope.hpp"
+
 namespace lcmm::sim {
 
 namespace {
@@ -181,11 +183,17 @@ TileSimResult simulate_layer_tiles(const hw::PerfModel& model,
 
 double tile_sim_total_latency(const hw::PerfModel& model,
                               const core::OnChipState& state) {
+  LCMM_SPAN("tile_sim");
   double total = 0.0;
+  std::int64_t tiles = 0;
   for (const graph::Layer& layer : model.graph().layers()) {
-    total += simulate_layer_tiles(model, layer.id,
-                                  state.layer_mask(layer.id)).latency_s;
+    const TileSimResult r =
+        simulate_layer_tiles(model, layer.id, state.layer_mask(layer.id));
+    total += r.latency_s;
+    tiles += r.num_tiles;
   }
+  LCMM_COUNT("layers", static_cast<std::int64_t>(model.graph().num_layers()));
+  LCMM_COUNT("tiles", tiles);
   return total;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/latency_tables.hpp"
+#include "obs/scope.hpp"
 
 namespace lcmm::sim {
 
@@ -136,9 +137,11 @@ TimelineOutput run_timeline(const graph::ComputationGraph& graph,
 
 SimResult simulate(const graph::ComputationGraph& graph,
                    const core::AllocationPlan& plan) {
+  LCMM_SPAN("simulate");
   if (plan.state.num_layers() != graph.num_layers()) {
     throw std::invalid_argument("simulate: plan does not match graph");
   }
+  LCMM_COUNT("layers", static_cast<std::int64_t>(graph.num_layers()));
   hw::PerfModel model(graph, plan.design);
   TimelineOutput out = run_timeline(graph, plan, model, 1);
   SimResult result;
@@ -171,9 +174,11 @@ StreamResult simulate_stream(const graph::ComputationGraph& graph,
 
 SimResult refine_against_stalls(const graph::ComputationGraph& graph,
                                 core::AllocationPlan& plan, int max_rounds) {
+  LCMM_SPAN("refine_stalls");
   hw::PerfModel model(graph, plan.design);
   SimResult sim = simulate(graph, plan);
   for (int round = 0; round < max_rounds; ++round) {
+    LCMM_COUNT("rounds", 1);
     bool changed = false;
     for (const LayerExecution& exec : sim.layers) {
       if (exec.stall_s <= 0.0) continue;
@@ -181,6 +186,9 @@ SimResult refine_against_stalls(const graph::ComputationGraph& graph,
       if (exec.latency_s() + exec.stall_s > umm &&
           plan.state.is_on({exec.layer, core::TensorSource::kWeight})) {
         plan.state.set({exec.layer, core::TensorSource::kWeight}, false);
+        LCMM_COUNT("demoted_weights", 1);
+        LCMM_DECIDE(graph.layer(exec.layer).name + ".wt", 0, false,
+                    "prefetch-stall-regression");
         changed = true;
       }
     }

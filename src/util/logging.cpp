@@ -1,11 +1,35 @@
 #include "util/logging.hpp"
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 namespace lcmm::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+
+/// Initial threshold: the LCMM_LOG_LEVEL environment variable when set and
+/// recognized (debug|info|warn|error|off, case-insensitive), else kWarn.
+LogLevel initial_level() {
+  const char* env = std::getenv("LCMM_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  std::string name;
+  for (const char* p = env; *p != '\0'; ++p) {
+    name += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  std::fprintf(stderr, "[WARN] LCMM_LOG_LEVEL='%s' not recognized "
+                       "(debug|info|warn|error|off); using warn\n", env);
+  return LogLevel::kWarn;
+}
+
+LogLevel g_level = initial_level();
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -17,6 +41,15 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Seconds since the first log call, so long compiles and sweeps can be
+/// read as a timeline without external timestamps.
+double elapsed_s() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
@@ -25,7 +58,7 @@ LogLevel log_level() { return g_level; }
 
 void log_line(LogLevel level, std::string_view message) {
   if (level < g_level || g_level == LogLevel::kOff) return;
-  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+  std::fprintf(stderr, "[%9.3fs] [%s] %.*s\n", elapsed_s(), level_name(level),
                static_cast<int>(message.size()), message.data());
 }
 

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "core/lcmm.hpp"
+#include "core/pipeline.hpp"
+#include "models/models.hpp"
+#include "obs/obs.hpp"
+
+namespace lcmm::obs {
+namespace {
+
+TEST(CompileStats, SpanNestingTracksParentAndDepth) {
+  CompileStats stats;
+  const int outer = stats.begin_span("outer");
+  const int inner = stats.begin_span("inner");
+  stats.end_span(inner);
+  const int sibling = stats.begin_span("sibling");
+  stats.end_span(sibling);
+  stats.end_span(outer);
+
+  ASSERT_EQ(stats.spans().size(), 3u);
+  EXPECT_EQ(stats.spans()[0].name, "outer");
+  EXPECT_EQ(stats.spans()[0].parent, -1);
+  EXPECT_EQ(stats.spans()[0].depth, 0);
+  EXPECT_EQ(stats.spans()[1].name, "inner");
+  EXPECT_EQ(stats.spans()[1].parent, outer);
+  EXPECT_EQ(stats.spans()[1].depth, 1);
+  EXPECT_EQ(stats.spans()[2].parent, outer);
+  // The parent covers its children.
+  EXPECT_GE(stats.spans()[0].dur_s, stats.spans()[1].dur_s);
+  EXPECT_FALSE(stats.spans()[0].open);
+}
+
+TEST(CompileStats, EndSpanClosesAbandonedChildren) {
+  CompileStats stats;
+  const int outer = stats.begin_span("outer");
+  stats.begin_span("leaked");  // never explicitly closed
+  stats.end_span(outer);
+  EXPECT_EQ(stats.current_span(), -1);
+  EXPECT_FALSE(stats.spans()[1].open);
+  EXPECT_THROW(stats.end_span(outer), std::logic_error);
+  EXPECT_THROW(stats.end_span(99), std::out_of_range);
+}
+
+TEST(CompileStats, CountersAccumulatePerSpanAndAggregate) {
+  CompileStats stats;
+  const int a = stats.begin_span("pass");
+  stats.count("cells", 10);
+  stats.count("cells", 5);
+  stats.end_span(a);
+  const int b = stats.begin_span("pass");
+  stats.count("cells", 1);
+  stats.end_span(b);
+  const int other = stats.begin_span("other");
+  stats.count("cells", 100);
+  stats.end_span(other);
+  stats.count("cells", 1000);  // no open span: root scope
+
+  EXPECT_EQ(stats.spans()[0].counters.at("cells"), 15);
+  EXPECT_EQ(stats.counter("pass.cells"), 16);   // qualified: both "pass" spans
+  EXPECT_EQ(stats.counter("other.cells"), 100);
+  EXPECT_EQ(stats.counter("cells"), 1116);      // bare: everything + root
+  EXPECT_EQ(stats.root_counters().at("cells"), 1000);
+  EXPECT_EQ(stats.span_count("pass"), 2);
+  EXPECT_EQ(stats.aggregate_counters().at("pass.cells"), 16);
+}
+
+TEST(CompileStats, GaugesLastWriteWinsAndDecisionsRecordPass) {
+  CompileStats stats;
+  const int span = stats.begin_span("dnnk");
+  stats.gauge("capacity_bytes", 1.0);
+  stats.gauge("capacity_bytes", 2.0);
+  stats.decide("vbuf#3", 4096, false, "knapsack-spill");
+  stats.end_span(span);
+
+  EXPECT_DOUBLE_EQ(stats.spans()[0].gauges.at("capacity_bytes"), 2.0);
+  ASSERT_EQ(stats.decisions().size(), 1u);
+  EXPECT_EQ(stats.decisions()[0].pass, "dnnk");
+  EXPECT_EQ(stats.decisions()[0].subject, "vbuf#3");
+  EXPECT_EQ(stats.decisions()[0].bytes, 4096);
+  EXPECT_FALSE(stats.decisions()[0].accepted);
+  EXPECT_EQ(stats.decisions()[0].reason, "knapsack-spill");
+}
+
+TEST(Macros, NoOpWithoutSession) {
+  ASSERT_EQ(current(), nullptr);
+  // None of these may crash or leak state when collection is disabled.
+  LCMM_SPAN("orphan");
+  LCMM_COUNT("x", 1);
+  LCMM_GAUGE("y", 2.0);
+  LCMM_DECIDE("z", 0, true, "reason");
+  EXPECT_EQ(current(), nullptr);
+}
+
+TEST(Macros, RecordIntoActiveSession) {
+  StatsSession session;
+  {
+    LCMM_SPAN("macro_span");
+    LCMM_COUNT("hits", 2);
+    LCMM_COUNT("hits", 3);
+  }
+  EXPECT_EQ(session.stats().counter("macro_span.hits"), 5);
+  EXPECT_EQ(session.stats().span_count("macro_span"), 1);
+}
+
+TEST(StatsSession, NestedSessionsShadowAndRestore) {
+  ASSERT_EQ(current(), nullptr);
+  {
+    StatsSession outer;
+    EXPECT_EQ(current(), &outer.stats());
+    {
+      StatsSession inner;
+      EXPECT_EQ(current(), &inner.stats());
+      LCMM_COUNT("n", 1);
+      EXPECT_EQ(inner.stats().counter("n"), 1);
+    }
+    EXPECT_EQ(current(), &outer.stats());
+    EXPECT_EQ(outer.stats().counter("n"), 0);
+  }
+  EXPECT_EQ(current(), nullptr);
+}
+
+TEST(Export, StatsJsonSchema) {
+  CompileStats stats;
+  const int span = stats.begin_span("liveness");
+  stats.count("entities", 7);
+  stats.gauge("bytes", 123.0);
+  stats.end_span(span);
+  stats.decide("vbuf#1", 64, true, "knapsack-selected");
+
+  const util::Json json = stats_to_json(stats);
+  const std::string text = json.dump();
+  EXPECT_NE(text.find("\"schema\": \"lcmm-compile-stats-v1\""),
+            std::string::npos);
+  // Every core pass has an aggregate entry even when it did not run.
+  for (const char* pass : kCorePasses) {
+    EXPECT_NE(text.find("\"" + std::string(pass) + "\""), std::string::npos)
+        << pass;
+  }
+  EXPECT_NE(text.find("\"entities\": 7"), std::string::npos);
+  EXPECT_NE(text.find("\"knapsack-selected\""), std::string::npos);
+  // The span tree serializes with ids, parents and timing.
+  EXPECT_NE(text.find("\"parent\": -1"), std::string::npos);
+  EXPECT_NE(text.find("\"dur_us\""), std::string::npos);
+}
+
+TEST(Export, ChromeTraceHasTrackMetadataAndSpans) {
+  CompileStats stats;
+  const int outer = stats.begin_span("pipeline");
+  const int inner = stats.begin_span("dnnk");
+  stats.end_span(inner);
+  stats.end_span(outer);
+
+  const std::string text = stats_to_chrome_trace(stats).dump(-1);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"lcmm compiler\""), std::string::npos);
+  EXPECT_NE(text.find("\"pipeline\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Integration, FullCompileEmitsNonZeroPerPassSpans) {
+  const graph::ComputationGraph graph = models::build_by_name("alexnet");
+  StatsSession session;
+  core::LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16);
+  const core::AllocationPlan plan = compiler.compile(graph);
+  (void)plan;
+
+  const CompileStats& stats = session.stats();
+  for (const char* pass : obs::kCorePasses) {
+    EXPECT_GE(stats.span_count(pass), 1) << pass;
+    EXPECT_GT(stats.span_seconds(pass), 0.0) << pass;
+  }
+  // Every core pass recorded at least one unit of work.
+  EXPECT_GT(stats.counter("liveness.entities"), 0);
+  EXPECT_GT(stats.counter("interference.pairs_checked"), 0);
+  EXPECT_GT(stats.counter("coloring.colors"), 0);
+  EXPECT_GT(stats.counter("prefetch.edges"), 0);
+  EXPECT_GT(stats.counter("dnnk.dp_cells"), 0);
+  EXPECT_GT(stats.counter("splitting.iterations"), 0);
+  EXPECT_GT(stats.counter("pipeline.dse_rounds"), 0);
+  // The DNNK pass logged a decision for every virtual buffer it saw.
+  EXPECT_GT(stats.decisions().size(), 0u);
+  // All spans are closed and the tree is well-formed.
+  for (const Span& span : stats.spans()) {
+    EXPECT_FALSE(span.open) << span.name;
+    EXPECT_GE(span.dur_s, 0.0);
+    if (span.parent >= 0) {
+      EXPECT_LT(span.parent, static_cast<int>(stats.spans().size()));
+      EXPECT_EQ(stats.spans()[static_cast<std::size_t>(span.parent)].depth,
+                span.depth - 1);
+    }
+  }
+}
+
+TEST(Integration, PartitionPassRecordsSegments) {
+  const graph::ComputationGraph graph = models::build_by_name("alexnet");
+  StatsSession session;
+  core::PipelinePartitioner partitioner(hw::FpgaDevice::vu9p(),
+                                        hw::Precision::kInt16, {});
+  const core::PipelinePlan plan = partitioner.partition(graph, 2);
+  EXPECT_EQ(plan.segments.size(), 2u);
+  EXPECT_EQ(session.stats().counter("partition.segments"), 2);
+  EXPECT_GE(session.stats().span_count("partition"), 1);
+  // Segment compiles nest under the partition span.
+  EXPECT_GE(session.stats().span_count("pipeline"), 2);
+}
+
+}  // namespace
+}  // namespace lcmm::obs

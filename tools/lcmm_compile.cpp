@@ -3,7 +3,9 @@
 //   lcmm_compile --model googlenet --precision 16
 //   lcmm_compile --graph mynet.lcmm --design lcmm --format json
 //   lcmm_compile --model resnet152 --roofline --trace
+//   lcmm_compile --model googlenet --stats-json s.json --compile-trace t.json
 #include <iostream>
+#include <memory>
 
 #include "cli/options.hpp"
 #include "core/validate.hpp"
@@ -11,6 +13,7 @@
 #include "hw/roofline.hpp"
 #include "io/text_format.hpp"
 #include "models/models.hpp"
+#include "obs/obs.hpp"
 #include "sim/chrome_trace.hpp"
 #include "sim/memory_trace.hpp"
 #include "sim/report.hpp"
@@ -66,7 +69,14 @@ void print_csv_report(const sim::DesignReport& r, bool header) {
 }
 
 int run(const cli::Options& opt) {
-  if (opt.verbose) util::set_log_level(util::LogLevel::kInfo);
+  if (opt.verbose) util::set_log_level(util::LogLevel::kDebug);
+
+  // Compiler telemetry is collected only when requested: without a session
+  // the instrumentation macros cost one pointer load per site.
+  const bool collect_stats =
+      !opt.stats_json_path.empty() || !opt.compile_trace_path.empty();
+  std::unique_ptr<obs::StatsSession> stats_session;
+  if (collect_stats) stats_session = std::make_unique<obs::StatsSession>();
 
   graph::ComputationGraph graph =
       opt.model.empty() ? io::load_graph_file(opt.graph_file)
@@ -142,6 +152,14 @@ int run(const cli::Options& opt) {
   if (!opt.chrome_trace_path.empty()) {
     write_chrome_trace(graph, runs.back().sim, opt.chrome_trace_path);
     std::cerr << "wrote " << opt.chrome_trace_path << "\n";
+  }
+  if (!opt.stats_json_path.empty()) {
+    obs::write_stats_json(stats_session->stats(), opt.stats_json_path);
+    std::cerr << "wrote " << opt.stats_json_path << "\n";
+  }
+  if (!opt.compile_trace_path.empty()) {
+    obs::write_compile_trace(stats_session->stats(), opt.compile_trace_path);
+    std::cerr << "wrote " << opt.compile_trace_path << "\n";
   }
   if (opt.validate) {
     bool ok = true;
