@@ -1,0 +1,212 @@
+#include "check/diagnostics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcmm::check {
+
+namespace {
+
+struct CodeInfo {
+  Code code;
+  Severity severity;
+  const char* name;
+  const char* summary;
+  const char* paper;
+};
+
+// One row per code, in id order. The table is the single source of truth
+// for ids, names, severities and the docs/SARIF rule metadata.
+constexpr CodeInfo kCodeTable[] = {
+    {Code::kPlanShapeMismatch, Severity::kError, "plan-shape-mismatch",
+     "The plan's on-chip state covers a different number of layers than the "
+     "graph it is checked against.",
+     ""},
+    {Code::kBufferTableMismatch, Severity::kError, "buffer-table-mismatch",
+     "The buffer_on_chip table and the virtual buffer list disagree in size.",
+     ""},
+    {Code::kMemberOutOfRange, Severity::kError, "member-out-of-range",
+     "A virtual buffer references a tensor entity index outside the plan's "
+     "entity table.",
+     ""},
+    {Code::kMultipleOwners, Severity::kError, "multiple-owners",
+     "A tensor entity belongs to several virtual buffers.", ""},
+    {Code::kCapacityBelowMember, Severity::kError, "capacity-below-member",
+     "A virtual buffer's capacity is below its largest member tensor.", ""},
+    {Code::kSpilledWeightOnChip, Severity::kError, "spilled-weight-on-chip",
+     "A weight tensor is marked on-chip although its virtual buffer was "
+     "spilled to DRAM.",
+     ""},
+    {Code::kResidentBadLayer, Severity::kError, "resident-bad-layer",
+     "A resident weight references a layer id outside the graph.", ""},
+    {Code::kResidentNonConv, Severity::kError, "resident-non-conv",
+     "A resident weight is attached to a non-convolution layer.", ""},
+    {Code::kResidentNotOnChip, Severity::kError, "resident-not-on-chip",
+     "A resident weight's tensor is not marked on-chip in the plan state.",
+     ""},
+    {Code::kLivenessIntervalMismatch, Severity::kError,
+     "liveness-interval-mismatch",
+     "A feature entity's recorded liveness interval disagrees with the "
+     "def-use interval re-derived from the computation graph.",
+     "3.1"},
+    {Code::kLifespanOverlap, Severity::kError, "lifespan-overlap",
+     "Two tensors sharing a virtual buffer have overlapping lifespans, so "
+     "one would corrupt the other.",
+     "3.1"},
+    {Code::kEntitySizeMismatch, Severity::kError, "entity-size-mismatch",
+     "A tensor entity's byte size disagrees with the footprint re-derived "
+     "from the graph shapes and design precision.",
+     "3.1"},
+    {Code::kPdgCycle, Severity::kError, "pdg-cycle",
+     "A prefetching dependence edge does not point backwards in the "
+     "execution order, which would make the PDG cyclic.",
+     "3.2"},
+    {Code::kPrefetchWindowMismatch, Severity::kError,
+     "prefetch-window-mismatch",
+     "A prefetch edge's recorded backtrace window disagrees with the UMM "
+     "execution time re-accumulated over the window's steps.",
+     "3.2"},
+    {Code::kPrefetchBadTarget, Severity::kError, "prefetch-bad-target",
+     "A prefetch edge targets a layer that is not a weighted convolution.",
+     "3.2"},
+    {Code::kPrefetchDeadlineMissed, Severity::kWarning,
+     "prefetch-deadline-missed",
+     "An on-chip weight's backtrace window does not cover its load time T; "
+     "the layer will stall on the remainder.",
+     "3.2"},
+    {Code::kDmaComputeRace, Severity::kError, "dma-compute-race",
+     "A DMA weight load into a shared buffer overlaps in time with a "
+     "compute access of a co-resident tensor (double-buffer hazard).",
+     "3.2"},
+    {Code::kDmaDmaRace, Severity::kError, "dma-dma-race",
+     "Two DMA weight loads into the same buffer overlap in time.", "3.2"},
+    {Code::kBramOversubscribed, Severity::kError, "bram-oversubscribed",
+     "The plan uses more BRAM36 blocks than the device provides.", "3.3"},
+    {Code::kUramOversubscribed, Severity::kError, "uram-oversubscribed",
+     "The plan uses more URAM blocks than the device provides.", "3.3"},
+    {Code::kPoolBookkeepingMismatch, Severity::kError,
+     "pool-bookkeeping-mismatch",
+     "The physical placements sum to more blocks than the plan's recorded "
+     "pool usage.",
+     "3.3"},
+    {Code::kDnnkCapacityExceeded, Severity::kError, "dnnk-capacity-exceeded",
+     "The on-chip virtual buffers oversubscribe the DNNK capacity budget "
+     "R_sram re-derived from the device and capacity fraction.",
+     "3.3"},
+    {Code::kPlacementTooSmall, Severity::kError, "placement-too-small",
+     "A physical SRAM placement is smaller than its virtual buffer.", "3.3"},
+    {Code::kStepCapacityExceeded, Severity::kError, "step-capacity-exceeded",
+     "The tensors live at one execution step oversubscribe the tensor-buffer "
+     "capacity.",
+     "3.3"},
+    {Code::kBaselineLatencyMismatch, Severity::kError,
+     "baseline-latency-mismatch",
+     "The plan's recorded UMM baseline latency disagrees with the Eq. 1 "
+     "total re-derived from the performance model.",
+     "3.3"},
+    {Code::kLatencyBelowBound, Severity::kError, "latency-below-bound",
+     "The plan's estimated latency is below the Eq. 1 lower bound of its "
+     "own on-chip state — it claims an impossible speedup.",
+     "3.3"},
+    {Code::kZeroGainGrant, Severity::kNote, "zero-gain-grant",
+     "A granted on-chip tensor currently contributes no latency reduction "
+     "(its pivot is still off-chip).",
+     "3.3"},
+};
+
+const CodeInfo& info(Code code) {
+  for (const CodeInfo& row : kCodeTable) {
+    if (row.code == code) return row;
+  }
+  throw std::logic_error("unknown diagnostic code " +
+                         std::to_string(static_cast<int>(code)));
+}
+
+}  // namespace
+
+std::string to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const std::vector<Code>& all_codes() {
+  static const std::vector<Code> codes = [] {
+    std::vector<Code> out;
+    for (const CodeInfo& row : kCodeTable) out.push_back(row.code);
+    return out;
+  }();
+  return codes;
+}
+
+std::string code_id(Code code) {
+  const char letter = default_severity(code) == Severity::kError ? 'E'
+                      : default_severity(code) == Severity::kWarning ? 'W'
+                                                                     : 'N';
+  const int number = static_cast<int>(code);
+  std::string id = "LCMM-";
+  id += letter;
+  if (number < 100) id += '0';
+  if (number < 10) id += '0';
+  return id + std::to_string(number);
+}
+
+Severity default_severity(Code code) { return info(code).severity; }
+const char* code_name(Code code) { return info(code).name; }
+const char* code_summary(Code code) { return info(code).summary; }
+const char* code_paper_section(Code code) { return info(code).paper; }
+
+std::string DiagLocation::describe() const {
+  std::string out;
+  if (layer != graph::kInvalidLayer) {
+    out += "layer ";
+    if (!layer_name.empty()) {
+      out += "'" + layer_name + "'";
+    } else {
+      out += std::to_string(layer);
+    }
+  }
+  if (!tensor.empty()) {
+    if (!out.empty()) out += " ";
+    out += "tensor " + tensor;
+  }
+  if (step >= 0) {
+    if (!out.empty()) out += " ";
+    out += "step " + std::to_string(step);
+  }
+  if (buffer_id >= 0) {
+    if (!out.empty()) out += ", ";
+    out += "vbuf" + std::to_string(buffer_id);
+  }
+  return out;
+}
+
+void CheckReport::add(Code code, std::string message, DiagLocation location) {
+  add(code, default_severity(code), std::move(message), std::move(location));
+}
+
+void CheckReport::add(Code code, Severity severity, std::string message,
+                      DiagLocation location) {
+  diagnostics_.push_back(Diagnostic{code, severity, pass_, std::move(message),
+                                    std::move(location)});
+}
+
+int CheckReport::count(Severity s) const {
+  return static_cast<int>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+bool CheckReport::has(Code code) const {
+  return std::any_of(diagnostics_.begin(), diagnostics_.end(),
+                     [code](const Diagnostic& d) { return d.code == code; });
+}
+
+bool CheckReport::fails(bool strict) const {
+  return num_errors() > 0 || (strict && num_warnings() > 0);
+}
+
+}  // namespace lcmm::check

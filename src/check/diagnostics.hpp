@@ -1,0 +1,131 @@
+// Typed diagnostics for the static plan-verification subsystem (lcmm::check).
+//
+// Every rule the checker enforces has a stable code ("LCMM-E102") that
+// tools, tests and CI gates key on; the human-readable message may evolve
+// freely but the code, its default severity and its meaning never change.
+// Codes are grouped by analysis pass in blocks of one hundred:
+//   E0xx structure     — plan/graph bookkeeping invariants
+//   E1xx liveness      — re-derived def-use intervals and buffer sharing
+//   E2xx prefetch      — PDG shape and §3.2 backtrace-window feasibility
+//   E3xx race          — DMA/compute overlap on shared physical buffers
+//   E4xx capacity      — SRAM pools and the DNNK capacity budget (§3.3)
+//   E5xx dnnk          — latency-table consistency of the granted state
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcmm::check {
+
+enum class Severity : std::uint8_t { kNote = 0, kWarning = 1, kError = 2 };
+
+std::string to_string(Severity s);
+
+/// Stable diagnostic codes. Enumerator values are part of the contract:
+/// never renumber, never reuse a retired value.
+enum class Code : std::uint16_t {
+  // structure
+  kPlanShapeMismatch = 1,       // LCMM-E001
+  kBufferTableMismatch = 2,     // LCMM-E002
+  kMemberOutOfRange = 3,        // LCMM-E003
+  kMultipleOwners = 4,          // LCMM-E004
+  kCapacityBelowMember = 5,     // LCMM-E005
+  kSpilledWeightOnChip = 6,     // LCMM-E006
+  kResidentBadLayer = 7,        // LCMM-E007
+  kResidentNonConv = 8,         // LCMM-E008
+  kResidentNotOnChip = 9,       // LCMM-E009
+  // liveness
+  kLivenessIntervalMismatch = 101,  // LCMM-E101
+  kLifespanOverlap = 102,           // LCMM-E102
+  kEntitySizeMismatch = 103,        // LCMM-E103
+  // prefetch
+  kPdgCycle = 201,               // LCMM-E201
+  kPrefetchWindowMismatch = 202, // LCMM-E202
+  kPrefetchBadTarget = 203,      // LCMM-E203
+  kPrefetchDeadlineMissed = 204, // LCMM-W204 (warning)
+  // race
+  kDmaComputeRace = 301,  // LCMM-E301
+  kDmaDmaRace = 302,      // LCMM-E302
+  // capacity
+  kBramOversubscribed = 401,      // LCMM-E401
+  kUramOversubscribed = 402,      // LCMM-E402
+  kPoolBookkeepingMismatch = 403, // LCMM-E403
+  kDnnkCapacityExceeded = 404,    // LCMM-E404
+  kPlacementTooSmall = 405,       // LCMM-E405
+  kStepCapacityExceeded = 406,    // LCMM-E406
+  // dnnk
+  kBaselineLatencyMismatch = 501, // LCMM-E501
+  kLatencyBelowBound = 502,       // LCMM-E502
+  kZeroGainGrant = 503,           // LCMM-N503 (note)
+};
+
+/// All codes, in id order (for emitting SARIF rule tables and docs).
+const std::vector<Code>& all_codes();
+
+/// "LCMM-E102" — the stable identifier (severity letter + number).
+std::string code_id(Code code);
+/// The severity a diagnostic with this code carries by default.
+Severity default_severity(Code code);
+/// Short kebab-case rule name ("lifespan-overlap"), stable like the id.
+const char* code_name(Code code);
+/// One-line rule description for rule tables (SARIF, docs).
+const char* code_summary(Code code);
+/// The paper section the rule enforces ("" when purely structural).
+const char* code_paper_section(Code code);
+
+/// Where in the plan/graph a diagnostic points. Fields default to "not
+/// applicable"; emitters print only what is set.
+struct DiagLocation {
+  graph::LayerId layer = graph::kInvalidLayer;
+  std::string layer_name;
+  /// Tensor entity label ("conv3x3.wt") when the finding is per-tensor.
+  std::string tensor;
+  /// Execution step (position in topo order), -1 when not applicable.
+  int step = -1;
+  /// Virtual buffer id, -1 when not applicable.
+  int buffer_id = -1;
+
+  /// "layer 'conv3x3' step 12, vbuf3" — empty when nothing is set.
+  std::string describe() const;
+};
+
+struct Diagnostic {
+  Code code;
+  Severity severity;
+  /// Name of the analysis pass that produced the finding.
+  std::string pass;
+  std::string message;
+  DiagLocation location;
+};
+
+/// The result of a checker run over one plan.
+class CheckReport {
+ public:
+  void add(Code code, std::string message, DiagLocation location = {});
+  /// Adds with an explicit severity override (strict-mode upgrades are the
+  /// emit layer's job; this is for passes that downgrade context-dependent
+  /// findings).
+  void add(Code code, Severity severity, std::string message,
+           DiagLocation location = {});
+
+  /// Pass label attached to subsequently added diagnostics.
+  void set_pass(std::string pass) { pass_ = std::move(pass); }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  int count(Severity s) const;
+  int num_errors() const { return count(Severity::kError); }
+  int num_warnings() const { return count(Severity::kWarning); }
+  bool has(Code code) const;
+  /// True when the report gates a build: any error, or any warning when
+  /// `strict`.
+  bool fails(bool strict) const;
+
+ private:
+  std::string pass_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace lcmm::check

@@ -1,0 +1,43 @@
+// Diagnostic emitters: render a CheckReport as human-readable text, as a
+// machine-readable JSON document, or as SARIF 2.1.0 so CI can surface the
+// findings as code-scanning annotations.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "check/diagnostics.hpp"
+#include "util/json.hpp"
+
+namespace lcmm::check {
+
+/// Which compiled plan a report belongs to (emitted alongside findings so
+/// a multi-run document stays attributable).
+struct RunLabel {
+  std::string network;
+  std::string design;     // "umm" / "lcmm"
+  std::string precision;  // "int8" / "int16" / "fp32"
+
+  /// "googlenet/lcmm/int16" — empty when nothing is set.
+  std::string describe() const;
+};
+
+/// A report plus its provenance, for the multi-run emitters.
+struct CheckedPlan {
+  RunLabel label;
+  CheckReport report;
+};
+
+/// One line per diagnostic plus a summary line. Notes are included; the
+/// summary counts by severity.
+std::string to_text(const CheckReport& report, const RunLabel& label = {});
+
+/// "lcmm-check-v1" JSON: label, severity counts and one object per
+/// diagnostic with the stable code, rule name, pass and location fields.
+util::Json to_json(const CheckReport& report, const RunLabel& label = {});
+
+/// SARIF 2.1.0 with the full rule table (every stable code) and one result
+/// per diagnostic across all runs; locations are logical (model/tensor).
+util::Json to_sarif(std::span<const CheckedPlan> runs);
+
+}  // namespace lcmm::check

@@ -132,6 +132,17 @@ Options parse_cli(const std::vector<std::string>& args) {
       opt.compile_trace_path = value;
     } else if (arg == "--validate") {
       opt.validate = true;
+    } else if (arg == "--check") {
+      opt.check = true;
+    } else if (arg.rfind("--check=", 0) == 0) {
+      const std::string mode = arg.substr(std::string("--check=").size());
+      if (mode == "strict") {
+        opt.check = opt.check_strict = true;
+      } else if (mode == "on") {
+        opt.check = true;
+      } else {
+        throw CliError("--check accepts no value, 'on' or 'strict'");
+      }
     } else if (arg == "--dot") {
       opt.emit_dot = true;
     } else if (arg == "--emit-graph") {
@@ -178,6 +189,10 @@ std::string usage() {
         "                        counters, allocation decisions) as JSON\n"
         "  --compile-trace PATH  write the compiler's own pass spans as a\n"
         "                        chrome://tracing JSON\n"
+        "  --check[=strict]      run the static plan checker (lcmm::check) on\n"
+        "                        every compiled plan; exit non-zero on errors\n"
+        "                        (strict: warnings fail too). See also the\n"
+        "                        standalone lcmm_check tool for JSON/SARIF.\n"
         "  --validate            run the plan validator; fail on violations\n"
         "  --roofline            print the per-layer roofline census\n"
         "  --dot                 print the graph in Graphviz DOT\n"

@@ -46,7 +46,13 @@ struct Options {
   /// trace-event JSON to this path.
   std::string compile_trace_path;
   /// Run the plan validator on every compiled plan and fail on violations.
+  /// (Legacy flag; --check surfaces the same engine with full diagnostics.)
   bool validate = false;
+  /// Run the lcmm::check diagnostics engine on every compiled plan and
+  /// exit non-zero on any error-severity diagnostic.
+  bool check = false;
+  /// --check=strict: warnings gate the exit code too.
+  bool check_strict = false;
 };
 
 /// Parses argv (argv[0] is skipped). Throws CliError on bad input.

@@ -1,121 +1,16 @@
 #include "core/validate.hpp"
 
-#include <algorithm>
-#include <map>
-#include <sstream>
+#include "check/check.hpp"
 
 namespace lcmm::core {
 
-namespace {
-std::string entity_label(const TensorEntity& e) {
-  return e.name + " (layer " + std::to_string(e.key.layer) + " " +
-         to_string(e.key.source) + ")";
-}
-}  // namespace
-
 std::vector<std::string> validate_plan(const graph::ComputationGraph& graph,
                                        const AllocationPlan& plan) {
+  const check::CheckReport report = check::run_checks(graph, plan);
   std::vector<std::string> issues;
-  const auto complain = [&issues](const std::string& msg) {
-    issues.push_back(msg);
-  };
-
-  // 1. Shape agreement.
-  if (plan.state.num_layers() != graph.num_layers()) {
-    complain("state covers " + std::to_string(plan.state.num_layers()) +
-             " layers but the graph has " + std::to_string(graph.num_layers()));
-    return issues;  // nothing else is meaningful
-  }
-  if (plan.buffer_on_chip.size() != plan.buffers.size()) {
-    complain("buffer_on_chip size mismatch");
-    return issues;
-  }
-
-  // 2. Buffer bookkeeping.
-  std::map<TensorKey, int> owner;
-  for (std::size_t b = 0; b < plan.buffers.size(); ++b) {
-    const VirtualBuffer& buf = plan.buffers[b];
-    std::int64_t max_member = 0;
-    for (std::size_t e : buf.members) {
-      if (e >= plan.entities.size()) {
-        complain("vbuf" + std::to_string(buf.id) + " references entity " +
-                 std::to_string(e) + " out of range");
-        continue;
-      }
-      const TensorEntity& entity = plan.entities[e];
-      max_member = std::max(max_member, entity.bytes);
-      if (!owner.emplace(entity.key, buf.id).second) {
-        complain(entity_label(entity) + " belongs to several buffers");
-      }
-    }
-    if (!buf.members.empty() && buf.bytes < max_member) {
-      complain("vbuf" + std::to_string(buf.id) + " capacity " +
-               std::to_string(buf.bytes) + " below largest member " +
-               std::to_string(max_member));
-    }
-    for (std::size_t i = 0; i < buf.members.size(); ++i) {
-      for (std::size_t j = i + 1; j < buf.members.size(); ++j) {
-        const TensorEntity& a = plan.entities[buf.members[i]];
-        const TensorEntity& c = plan.entities[buf.members[j]];
-        if (a.overlaps(c)) {
-          complain("vbuf" + std::to_string(buf.id) + ": members " +
-                   entity_label(a) + " and " + entity_label(c) +
-                   " have overlapping lifespans");
-        }
-      }
-    }
-  }
-
-  // 3. State consistency (output-residency propagation may legitimately
-  //    set bits without a backing buffer for FEATURE reads; weights never).
-  for (std::size_t b = 0; b < plan.buffers.size(); ++b) {
-    if (plan.buffer_on_chip[b]) continue;
-    for (std::size_t e : plan.buffers[b].members) {
-      const TensorEntity& entity = plan.entities[e];
-      if (entity.key.source == TensorSource::kWeight &&
-          plan.state.is_on(entity.key)) {
-        complain(entity_label(entity) +
-                 " is on-chip but its buffer was spilled");
-      }
-    }
-  }
-
-  // 4. Resources.
-  const hw::FpgaDevice& device = plan.design.device;
-  if (plan.bram_used > device.bram36_total) {
-    complain("BRAM overcommitted: " + std::to_string(plan.bram_used) + " / " +
-             std::to_string(device.bram36_total));
-  }
-  if (plan.uram_used > device.uram_total) {
-    complain("URAM overcommitted: " + std::to_string(plan.uram_used) + " / " +
-             std::to_string(device.uram_total));
-  }
-  std::int64_t placed = 0;
-  for (const PhysicalBuffer& pb : plan.physical) {
-    if (pb.sram.capacity_bytes < pb.buffer.bytes && pb.buffer.id >= 0) {
-      complain("physical buffer for vbuf" + std::to_string(pb.buffer.id) +
-               " smaller than its virtual size");
-    }
-    placed += pb.sram.blocks;
-  }
-  if (placed > plan.bram_used + plan.uram_used) {
-    complain("placed blocks exceed the recorded pool usage");
-  }
-
-  // 5. Residency.
-  for (graph::LayerId id : plan.resident_weights) {
-    if (id < 0 || static_cast<std::size_t>(id) >= graph.num_layers()) {
-      complain("resident weight references bad layer " + std::to_string(id));
-      continue;
-    }
-    if (!graph.layer(id).is_conv()) {
-      complain("resident weight on non-conv layer '" + graph.layer(id).name +
-               "'");
-    }
-    if (!plan.state.is_on({id, TensorSource::kWeight})) {
-      complain("resident weight of '" + graph.layer(id).name +
-               "' is not marked on-chip");
-    }
+  for (const check::Diagnostic& d : report.diagnostics()) {
+    if (d.severity != check::Severity::kError) continue;
+    issues.push_back(d.message);
   }
   return issues;
 }

@@ -1,7 +1,8 @@
-// Allocation-plan validator: checks every structural invariant a plan must
-// satisfy before it is trusted (by the simulator, by a code generator, or
-// by a user embedding the library). Returns human-readable violations
-// instead of asserting, so tools can surface them.
+// Allocation-plan validator — source-compatibility shim over the
+// lcmm::check static-analysis subsystem (check/check.hpp). New code should
+// call check::run_checks directly and consume typed Diagnostics; this
+// wrapper keeps the original string-returning interface for existing
+// callers and formats each error-severity diagnostic as one message.
 #pragma once
 
 #include <string>
@@ -11,18 +12,12 @@
 
 namespace lcmm::core {
 
-/// Checks `plan` against `graph`. Returns an empty vector when the plan is
-/// sound; otherwise one message per violation:
-///   1. plan/graph shape agreement (state sized to the layer count);
-///   2. buffer bookkeeping: every entity belongs to exactly one buffer,
-///      buffer capacity = max member size, members never interfere
-///      (liveness intervals within a buffer are pairwise disjoint);
-///   3. state consistency: a tensor marked on-chip has its buffer
-///      allocated, unless it was granted by output-residency propagation;
-///   4. resources: physical placements fit the device pools, and the DP
-///      capacity respected the configured fraction;
-///   5. residency: resident weights are on-chip weight tensors of real
-///      conv layers.
+/// Checks `plan` against `graph` by running every registered check pass
+/// (structure, liveness, prefetch PDG, memory races, capacity, DNNK
+/// consistency — see check/check.hpp). Returns an empty vector when the
+/// plan is sound; otherwise one formatted message per error-severity
+/// diagnostic. Warnings and notes are dropped — use the diagnostics engine
+/// directly when you need them.
 std::vector<std::string> validate_plan(const graph::ComputationGraph& graph,
                                        const AllocationPlan& plan);
 

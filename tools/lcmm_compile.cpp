@@ -7,6 +7,8 @@
 #include <iostream>
 #include <memory>
 
+#include "check/check.hpp"
+#include "check/emit.hpp"
 #include "cli/options.hpp"
 #include "core/validate.hpp"
 #include "graph/dot.hpp"
@@ -171,6 +173,20 @@ int run(const cli::Options& opt) {
     }
     if (!ok) return 1;
     std::cerr << "plan validation: ok\n";
+  }
+  if (opt.check) {
+    const check::CheckOptions check_options =
+        check::CheckOptions::from(opt.lcmm, opt.check_strict);
+    bool failed = false;
+    for (const Compiled& c : runs) {
+      const check::CheckReport report =
+          check::run_checks(graph, c.plan, check_options);
+      check::RunLabel label{graph.name(), c.plan.is_umm ? "umm" : "lcmm",
+                            hw::to_string(opt.precision)};
+      std::cerr << to_text(report, label);
+      failed |= report.fails(opt.check_strict);
+    }
+    if (failed) return 1;
   }
   return 0;
 }
