@@ -3,8 +3,10 @@
 // inside a DSE loop, so pass runtime matters.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "lcmm.hpp"
 
@@ -78,6 +80,47 @@ void BM_DnnkAllocation(benchmark::State& state, const char* name) {
 }
 BENCHMARK_CAPTURE(BM_DnnkAllocation, resnet152, "resnet152");
 BENCHMARK_CAPTURE(BM_DnnkAllocation, inception_v4, "inception_v4");
+
+// DSE candidate evaluation with 1 worker vs all cores: the ISSUE's
+// headline parallel win. Same argmin for every thread count.
+void BM_DseExplore(benchmark::State& state, const char* name) {
+  const auto& g = cached_model(name);
+  hw::DseOptions opt;
+  opt.jobs = static_cast<int>(state.range(0));
+  const hw::Dse dse(hw::FpgaDevice::vu9p(), hw::Precision::kInt16, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dse.explore(g).objective_latency_s);
+  }
+  state.counters["jobs"] = static_cast<double>(opt.jobs);
+}
+BENCHMARK_CAPTURE(BM_DseExplore, resnet152, "resnet152")
+    ->Arg(1)
+    ->Arg(static_cast<std::int64_t>(lcmm::par::hardware_jobs()));
+BENCHMARK_CAPTURE(BM_DseExplore, inception_v4, "inception_v4")
+    ->Arg(1)
+    ->Arg(static_cast<std::int64_t>(lcmm::par::hardware_jobs()));
+
+// The full models x precisions sweep through the batch driver, serial vs
+// all cores — what bench/table1_main.cpp runs.
+void BM_CompileMany(benchmark::State& state) {
+  std::vector<driver::BatchJob> jobs;
+  for (const char* name : {"resnet152", "googlenet", "inception_v4"}) {
+    for (hw::Precision p :
+         {hw::Precision::kInt8, hw::Precision::kInt16, hw::Precision::kFp32}) {
+      jobs.push_back({cached_model(name), hw::FpgaDevice::vu9p(), p,
+                      core::LcmmOptions{}});
+    }
+  }
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(driver::compile_many(jobs, workers).size());
+  }
+  state.counters["jobs"] = static_cast<double>(workers);
+}
+BENCHMARK(BM_CompileMany)
+    ->Arg(1)
+    ->Arg(static_cast<std::int64_t>(lcmm::par::hardware_jobs()))
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FullCompile(benchmark::State& state, const char* name) {
   const auto& g = cached_model(name);

@@ -1,34 +1,53 @@
 // Reproduces Table 1: UMM vs LCMM for ResNet-152 / GoogLeNet / Inception-v4
 // at 8/16/32-bit — latency, throughput, clock, resource utilization, and
 // the per-pair speedup. The paper reports a 1.36x average speedup.
+//
+// The nine (network, precision) pairs compile concurrently through
+// driver::compile_many; rows print in suite order and are identical for
+// every worker count (LCMM_JOBS=1 to force serial).
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 
 int main() {
   using namespace lcmm;
+
+  std::vector<driver::BatchJob> jobs;
+  std::vector<std::string> labels;
+  for (const auto& [label, model_name] : bench::kSuite) {
+    for (hw::Precision p : hw::kAllPrecisions) {
+      jobs.push_back({models::build_by_name(model_name),
+                      hw::FpgaDevice::vu9p(), p, core::LcmmOptions{}});
+      labels.push_back(std::string(label) + " " + hw::to_string(p));
+    }
+  }
+  const std::vector<driver::BatchOutcome> outcomes = driver::compile_many(
+      jobs, par::jobs_from_env_or(par::hardware_jobs()));
+
   util::Table table({"Benchmark", "Design", "Latency (ms)", "Tops",
                      "Freq (MHz)", "DSP %", "CLB %", "SRAM %", "Speedup"});
   double log_sum = 0.0;
   int pairs = 0;
-  for (const auto& [label, model_name] : bench::kSuite) {
-    for (hw::Precision p : hw::kAllPrecisions) {
-      const auto graph = models::build_by_name(model_name);
-      const bench::PairResult r = bench::run_pair(graph, p);
-      const std::string bm = std::string(label) + " " + hw::to_string(p);
-      table.add_separator();
-      for (const sim::DesignReport* d : {&r.umm, &r.lcmm}) {
-        table.add_row({bm, d->is_umm ? "UMM" : "LCMM",
-                       util::fmt_fixed(d->latency_ms, 3),
-                       util::fmt_fixed(d->tops, 3),
-                       util::fmt_fixed(d->freq_mhz, 0), util::fmt_pct(d->dsp_util),
-                       util::fmt_pct(d->clb_util), util::fmt_pct(d->sram_util),
-                       d->is_umm ? "" : util::fmt_fixed(r.speedup(), 2)});
-      }
-      log_sum += std::log(r.speedup());
-      ++pairs;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const driver::BatchOutcome& r = outcomes[i];
+    if (!r.ok()) {
+      std::cerr << "bench job failed (" << labels[i] << "): " << r.error
+                << "\n";
+      return 1;
     }
+    table.add_separator();
+    for (const sim::DesignReport* d : {&r.umm_report, &r.lcmm_report}) {
+      table.add_row({labels[i], d->is_umm ? "UMM" : "LCMM",
+                     util::fmt_fixed(d->latency_ms, 3),
+                     util::fmt_fixed(d->tops, 3),
+                     util::fmt_fixed(d->freq_mhz, 0), util::fmt_pct(d->dsp_util),
+                     util::fmt_pct(d->clb_util), util::fmt_pct(d->sram_util),
+                     d->is_umm ? "" : util::fmt_fixed(r.speedup(), 2)});
+    }
+    log_sum += std::log(r.speedup());
+    ++pairs;
   }
   std::cout << "Table 1: Detailed results (UMM vs LCMM on Xilinx VU9P)\n"
             << table

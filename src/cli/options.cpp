@@ -110,6 +110,9 @@ Options parse_cli(const std::vector<std::string>& args) {
       } else {
         throw CliError("--allocator must be dnnk, greedy or exact");
       }
+    } else if (consume_value(args, i, "--jobs", value)) {
+      opt.jobs = to_int("--jobs", value);
+      if (opt.jobs < 1) throw CliError("--jobs must be >= 1");
     } else if (consume_value(args, i, "--dse-passes", value)) {
       opt.lcmm.dse_passes = to_int("--dse-passes", value);
     } else if (consume_value(args, i, "--capacity-fraction", value)) {
@@ -181,6 +184,10 @@ std::string usage() {
         "  --capacity-fraction F fraction of free SRAM handed to DNNK\n"
         "  --no-feature-reuse --no-prefetch --no-splitting --no-promotion\n"
         "  --no-fallback         keep the LCMM design even if UMM is faster\n"
+        "  --jobs N              worker threads for DSE candidate evaluation\n"
+        "                        and batch compilation (default: LCMM_JOBS or\n"
+        "                        the hardware concurrency); plans, reports and\n"
+        "                        stats are identical for every N\n"
         "\noutput:\n"
         "  --format text|json|csv  report format (default text)\n"
         "  --trace               print the tensor residency timeline\n"

@@ -30,6 +30,11 @@ struct Options {
 
   core::LcmmOptions lcmm;
 
+  /// Worker threads for DSE candidate evaluation and batch compilation.
+  /// 0 = auto: LCMM_JOBS when set, else the hardware concurrency. Results
+  /// are identical for every value (see docs/parallelism.md).
+  int jobs = 0;
+
   bool emit_dot = false;
   bool emit_graph = false;
   bool emit_trace = false;

@@ -1,5 +1,6 @@
 #include "core/interference.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 #include "obs/scope.hpp"
@@ -10,7 +11,9 @@ InterferenceGraph::InterferenceGraph(std::vector<TensorEntity> entities)
     : entities_(std::move(entities)) {
   LCMM_SPAN("interference");
   const std::size_t n = entities_.size();
-  adj_.assign(n * (n + 1) / 2, 0);
+  // Exactly one cell per unordered pair: the strict upper triangle has
+  // n*(n-1)/2 cells and index() never addresses past it.
+  adj_.assign(n >= 2 ? n * (n - 1) / 2 : 0, 0);
   std::int64_t edges = 0;
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = a + 1; b < n; ++b) {
@@ -32,7 +35,9 @@ std::size_t InterferenceGraph::index(std::size_t a, std::size_t b) const {
   if (a > b) std::swap(a, b);
   // Upper triangle, row-major: row a spans (n-1-a) cells.
   const std::size_t n = entities_.size();
-  return a * n - a * (a + 1) / 2 + (b - a - 1);
+  const std::size_t cell = a * n - a * (a + 1) / 2 + (b - a - 1);
+  assert(cell < adj_.size());
+  return cell;
 }
 
 bool InterferenceGraph::interferes(std::size_t a, std::size_t b) const {

@@ -30,6 +30,8 @@ class InterferenceGraph {
   /// Degree counting both real and false edges.
   std::size_t degree(std::size_t a) const;
   std::size_t num_edges() const;
+  /// Cells in the dense upper-triangular adjacency: exactly n*(n-1)/2.
+  std::size_t adjacency_cells() const { return adj_.size(); }
 
  private:
   std::size_t index(std::size_t a, std::size_t b) const;

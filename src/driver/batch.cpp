@@ -1,0 +1,36 @@
+#include "driver/batch.hpp"
+
+#include <exception>
+
+#include "par/parallel_for.hpp"
+
+namespace lcmm::driver {
+
+std::vector<BatchOutcome> compile_many(const std::vector<BatchJob>& jobs,
+                                       int workers) {
+  return par::parallel_map(jobs.size(), workers, [&](std::size_t i) {
+    const BatchJob& job = jobs[i];
+    BatchOutcome out;
+    try {
+      const core::LcmmCompiler compiler(job.device, job.precision, job.options);
+      if (job.want_umm) {
+        out.umm_plan = compiler.compile_umm(job.graph);
+        out.umm_sim = sim::simulate(job.graph, out.umm_plan);
+        out.umm_report = sim::make_report(job.graph, out.umm_plan, out.umm_sim);
+      }
+      if (job.want_lcmm) {
+        out.lcmm_plan = compiler.compile(job.graph);
+        out.lcmm_sim = sim::refine_against_stalls(job.graph, out.lcmm_plan);
+        out.lcmm_report =
+            sim::make_report(job.graph, out.lcmm_plan, out.lcmm_sim);
+      }
+    } catch (const std::exception& e) {
+      out = BatchOutcome{};
+      out.error = e.what();
+      if (out.error.empty()) out.error = "unknown error";
+    }
+    return out;
+  });
+}
+
+}  // namespace lcmm::driver

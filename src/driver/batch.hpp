@@ -1,0 +1,58 @@
+// Batch compilation driver: the models x designs x precisions sweep the
+// paper's evaluation (§4) runs, as one concurrent entry point.
+//
+// Each BatchJob owns its graph and options, so jobs share no mutable
+// state; compile_many() fans them out over lcmm::par and returns outcomes
+// in input order. A job that throws reports its message in
+// BatchOutcome::error instead of tearing down the whole sweep. When the
+// calling thread is collecting obs telemetry, per-job stats merge back in
+// job order — the collected registry is identical whatever the worker
+// count (see docs/parallelism.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/lcmm.hpp"
+#include "sim/report.hpp"
+#include "sim/timeline.hpp"
+
+namespace lcmm::driver {
+
+/// One (graph, device, precision, options) compilation unit.
+struct BatchJob {
+  graph::ComputationGraph graph;
+  hw::FpgaDevice device = hw::FpgaDevice::vu9p();
+  hw::Precision precision = hw::Precision::kInt16;
+  core::LcmmOptions options;
+  /// Which designs to produce. LCMM plans are stall-refined the same way
+  /// lcmm_compile ships them.
+  bool want_umm = true;
+  bool want_lcmm = true;
+};
+
+struct BatchOutcome {
+  core::AllocationPlan umm_plan;   ///< Valid when the job wanted UMM.
+  core::AllocationPlan lcmm_plan;  ///< Valid when the job wanted LCMM.
+  sim::SimResult umm_sim;
+  sim::SimResult lcmm_sim;
+  sim::DesignReport umm_report;
+  sim::DesignReport lcmm_report;
+  std::string error;  ///< Non-empty when the job threw; other fields empty.
+
+  bool ok() const { return error.empty(); }
+  /// UMM/LCMM latency ratio (requires both designs).
+  double speedup() const {
+    return lcmm_report.latency_ms > 0
+               ? umm_report.latency_ms / lcmm_report.latency_ms
+               : 0.0;
+  }
+};
+
+/// Compiles and simulates every job on up to `workers` threads
+/// (0 = par::default_jobs()). Outcomes are in job order and independent of
+/// the worker count.
+std::vector<BatchOutcome> compile_many(const std::vector<BatchJob>& jobs,
+                                       int workers = 0);
+
+}  // namespace lcmm::driver

@@ -7,6 +7,44 @@ namespace lcmm::graph {
 
 ComputationGraph::ComputationGraph(std::string name) : name_(std::move(name)) {}
 
+ComputationGraph::ComputationGraph(const ComputationGraph& other) {
+  *this = other;
+}
+
+ComputationGraph& ComputationGraph::operator=(const ComputationGraph& other) {
+  if (this == &other) return *this;
+  // Lock the source so a copy taken while other threads read (and lazily
+  // fill) its caches is race-free; the destination gets a fresh mutex.
+  std::lock_guard<std::mutex> lock(other.topo_mutex_);
+  name_ = other.name_;
+  current_stage_ = other.current_stage_;
+  layers_ = other.layers_;
+  values_ = other.values_;
+  value_alive_ = other.value_alive_;
+  own_output_shapes_ = other.own_output_shapes_;
+  topo_cache_ = other.topo_cache_;
+  step_cache_ = other.step_cache_;
+  return *this;
+}
+
+ComputationGraph::ComputationGraph(ComputationGraph&& other) noexcept {
+  *this = std::move(other);
+}
+
+ComputationGraph& ComputationGraph::operator=(ComputationGraph&& other) noexcept {
+  if (this == &other) return *this;
+  std::lock_guard<std::mutex> lock(other.topo_mutex_);
+  name_ = std::move(other.name_);
+  current_stage_ = std::move(other.current_stage_);
+  layers_ = std::move(other.layers_);
+  values_ = std::move(other.values_);
+  value_alive_ = std::move(other.value_alive_);
+  own_output_shapes_ = std::move(other.own_output_shapes_);
+  topo_cache_ = std::move(other.topo_cache_);
+  step_cache_ = std::move(other.step_cache_);
+  return *this;
+}
+
 ValueId ComputationGraph::new_value(std::string name, FeatureShape shape) {
   const ValueId id = static_cast<ValueId>(values_.size());
   values_.push_back(Value{id, std::move(name), shape, {}, {}});
@@ -166,6 +204,10 @@ std::vector<ValueId> ComputationGraph::live_values() const {
 }
 
 const std::vector<LayerId>& ComputationGraph::topo_order() const {
+  // Serialize the lazy fill; after it, the caches are immutable until the
+  // next builder-phase mutation, so the returned reference stays valid for
+  // concurrent readers.
+  std::lock_guard<std::mutex> lock(topo_mutex_);
   if (!topo_cache_.empty() || layers_.empty()) return topo_cache_;
   // Kahn's algorithm over layer->layer dependencies induced by values.
   std::vector<int> indegree(layers_.size(), 0);

@@ -2,9 +2,15 @@
 // values. Graphs are built through the add_* API (which performs shape
 // inference eagerly and therefore guarantees layers are appended in a valid
 // topological order) and are immutable afterwards.
+//
+// Thread safety: construction (add_*) is single-threaded, but once built,
+// all const accessors may be called concurrently — the lazily computed
+// topological-order caches are filled under an internal mutex so parallel
+// DSE workers can share one graph (see docs/parallelism.md).
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,6 +23,13 @@ namespace lcmm::graph {
 class ComputationGraph {
  public:
   explicit ComputationGraph(std::string name);
+  // The topo-cache mutex is not copyable, so the special members are
+  // user-provided (each instance gets its own lock; data is deep-copied).
+  ComputationGraph(const ComputationGraph& other);
+  ComputationGraph& operator=(const ComputationGraph& other);
+  ComputationGraph(ComputationGraph&& other) noexcept;
+  ComputationGraph& operator=(ComputationGraph&& other) noexcept;
+  ~ComputationGraph() = default;
 
   // ---- construction -----------------------------------------------------
 
@@ -93,6 +106,9 @@ class ComputationGraph {
   std::vector<Value> values_;
   std::vector<bool> value_alive_;
   std::vector<FeatureShape> own_output_shapes_;  // indexed by LayerId
+  /// Guards the lazy fill of the caches below; once filled they are only
+  /// read (append_layer, a builder-phase mutation, resets them).
+  mutable std::mutex topo_mutex_;
   mutable std::vector<LayerId> topo_cache_;
   mutable std::vector<int> step_cache_;
 };

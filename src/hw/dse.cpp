@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "par/parallel_for.hpp"
 #include "util/logging.hpp"
 
 namespace lcmm::hw {
@@ -9,7 +10,8 @@ namespace lcmm::hw {
 Dse::Dse(FpgaDevice device, Precision precision, DseOptions options)
     : device_(std::move(device)), precision_(precision), options_(options) {
   if (options_.dsp_budget_fraction <= 0 || options_.dsp_budget_fraction > 1 ||
-      options_.tile_bram_fraction <= 0 || options_.tile_bram_fraction > 1) {
+      options_.tile_bram_fraction <= 0 || options_.tile_bram_fraction > 1 ||
+      options_.jobs < 0) {
     throw std::invalid_argument("Dse: bad options");
   }
 }
@@ -32,30 +34,32 @@ std::vector<SystolicArrayConfig> Dse::array_candidates() const {
   if (options_.allow_int8_packing && precision_ == Precision::kInt8) {
     packs.push_back(2);
   }
-  std::vector<SystolicArrayConfig> out;
-  for (int pack : packs) {
-    for (int r : kRows) {
-      for (int c : kCols) {
-        for (int s : kSimd) {
-          const SystolicArrayConfig cfg{r, c, s, pack};
-          const int cost = cfg.dsp_cost(precision_);
-          // Discard configs below half budget: they are strictly dominated
-          // by a larger legal sibling and only slow the search down.
-          if (cost <= budget && cost * 2 > budget) out.push_back(cfg);
+  // One generator builds both menus: the fallback used to rebuild configs
+  // from scratch without the pack dimension, silently costing int8 on
+  // small devices its dual-packed candidates.
+  const auto enumerate = [&](bool prune_dominated) {
+    std::vector<SystolicArrayConfig> out;
+    for (int pack : packs) {
+      for (int r : kRows) {
+        for (int c : kCols) {
+          for (int s : kSimd) {
+            const SystolicArrayConfig cfg{r, c, s, pack};
+            const int cost = cfg.dsp_cost(precision_);
+            if (cost > budget) continue;
+            // Discard configs below half budget: they are strictly dominated
+            // by a larger legal sibling and only slow the search down.
+            if (prune_dominated && cost * 2 <= budget) continue;
+            out.push_back(cfg);
+          }
         }
       }
     }
-  }
+    return out;
+  };
+  std::vector<SystolicArrayConfig> out = enumerate(/*prune_dominated=*/true);
   if (out.empty()) {
     // Tiny devices / fp32: accept anything that fits.
-    for (int r : kRows) {
-      for (int c : kCols) {
-        for (int s : kSimd) {
-          const SystolicArrayConfig cfg{r, c, s};
-          if (cfg.dsp_cost(precision_) <= budget) out.push_back(cfg);
-        }
-      }
-    }
+    out = enumerate(/*prune_dominated=*/false);
   }
   return out;
 }
@@ -83,8 +87,10 @@ std::vector<TileConfig> Dse::tile_candidates(
 DseResult Dse::explore(const graph::ComputationGraph& graph,
                        const Objective& objective) const {
   const double freq = device_.clock_mhz(precision_, options_.heavy_uram_use);
-  DseResult best;
-  bool found = false;
+  // Flatten the menu first; the candidate's position in this vector is the
+  // "menu index" the tie-break below refers to, and it equals the order
+  // the old serial loop visited candidates in.
+  std::vector<AcceleratorDesign> menu;
   for (const SystolicArrayConfig& array : array_candidates()) {
     for (const TileConfig& tile : tile_candidates(graph, array)) {
       AcceleratorDesign design;
@@ -93,28 +99,59 @@ DseResult Dse::explore(const graph::ComputationGraph& graph,
       design.array = array;
       design.tile = tile;
       design.freq_mhz = freq;
-      double latency;
-      if (objective) {
-        latency = objective(design);
-      } else {
-        latency = PerfModel(graph, design).umm_total_latency();
-      }
-      if (!found || latency < best.objective_latency_s) {
-        best.design = design;
-        best.objective_latency_s = latency;
-        found = true;
-      }
+      menu.push_back(design);
     }
   }
-  if (!found) {
+  if (menu.empty()) {
     throw std::runtime_error("Dse::explore: no feasible design for graph '" +
                              graph.name() + "'");
   }
+
+  // Candidates are independent, so evaluate them on the worker pool; each
+  // latency lands in its own slot, making the vector scheduling-invariant.
+  const std::vector<double> latencies =
+      par::parallel_map(menu.size(), options_.jobs, [&](std::size_t i) {
+        return objective ? objective(menu[i])
+                         : PerfModel(graph, menu[i]).umm_total_latency();
+      });
+
+  // Deterministic argmin. Ties on latency break on DSP cost, then on menu
+  // index — never on evaluation order — so serial and parallel runs pick
+  // the same design bit for bit.
+  std::size_t best = 0;
+  int best_cost = menu[0].array.dsp_cost(precision_);
+  std::int64_t ties_broken = 0;
+  for (std::size_t i = 1; i < menu.size(); ++i) {
+    if (latencies[i] > latencies[best]) continue;
+    const int cost = menu[i].array.dsp_cost(precision_);
+    if (latencies[i] < latencies[best]) {
+      best = i;
+      best_cost = cost;
+    } else if (cost < best_cost) {
+      // Equal latency: prefer the cheaper array; equal cost keeps the
+      // earlier menu index (the first-seen candidate).
+      LCMM_DEBUG() << "DSE(" << graph.name() << "): latency tie at "
+                   << latencies[i] * 1e3 << " ms broken on DSP cost ("
+                   << cost << " < " << best_cost << ") for candidate #" << i;
+      best = i;
+      best_cost = cost;
+      ++ties_broken;
+    }
+  }
+  if (ties_broken > 0) {
+    LCMM_INFO() << "DSE(" << graph.name() << "): " << ties_broken
+                << " latency tie(s) broken on (DSP cost, menu index)";
+  }
+
+  DseResult result;
+  result.design = menu[best];
+  result.objective_latency_s = latencies[best];
   LCMM_INFO() << "DSE(" << graph.name() << ", " << to_string(precision_)
-              << "): array " << best.design.array.to_string() << " tile "
-              << best.design.tile.to_string() << " -> "
-              << best.objective_latency_s * 1e3 << " ms";
-  return best;
+              << "): array " << result.design.array.to_string() << " tile "
+              << result.design.tile.to_string() << " -> "
+              << result.objective_latency_s * 1e3 << " ms ("
+              << menu.size() << " candidates)";
+  return result;
 }
 
 }  // namespace lcmm::hw

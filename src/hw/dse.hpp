@@ -30,6 +30,10 @@ struct DseOptions {
   /// Off by default: the paper's baseline [18] does not pack (its quoted
   /// 2.7 Tops peak is one MAC per DSP).
   bool allow_int8_packing = false;
+  /// Workers for candidate evaluation (0 = par::default_jobs()). The
+  /// result is worker-count independent: explore() reduces with an
+  /// explicit (latency, DSP cost, menu index) tie-break.
+  int jobs = 0;
 };
 
 struct DseResult {
@@ -46,6 +50,9 @@ class Dse {
 
   /// Explores the candidate space for `graph`. With no objective, minimizes
   /// the UMM total latency. Throws std::runtime_error if no candidate fits.
+  /// Candidates are evaluated on DseOptions::jobs workers; latency ties
+  /// break on DSP cost, then menu index, so the winner does not depend on
+  /// evaluation order (serial and parallel runs agree bitwise).
   DseResult explore(const graph::ComputationGraph& graph,
                     const Objective& objective = nullptr) const;
 

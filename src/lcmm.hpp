@@ -13,12 +13,14 @@
 #pragma once
 
 #include "core/lcmm.hpp"      // IWYU pragma: export
+#include "driver/batch.hpp"   // IWYU pragma: export
 #include "graph/dot.hpp"      // IWYU pragma: export
 #include "graph/graph.hpp"    // IWYU pragma: export
 #include "hw/dse.hpp"         // IWYU pragma: export
 #include "hw/roofline.hpp"    // IWYU pragma: export
 #include "models/models.hpp"  // IWYU pragma: export
 #include "obs/obs.hpp"        // IWYU pragma: export
+#include "par/par.hpp"        // IWYU pragma: export
 #include "sim/memory_trace.hpp"  // IWYU pragma: export
 #include "sim/report.hpp"        // IWYU pragma: export
 #include "sim/timeline.hpp"      // IWYU pragma: export

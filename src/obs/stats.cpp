@@ -5,7 +5,7 @@
 namespace lcmm::obs {
 
 namespace {
-CompileStats* g_current = nullptr;
+thread_local CompileStats* g_current = nullptr;
 }  // namespace
 
 CompileStats* current() { return g_current; }
@@ -131,6 +131,27 @@ std::map<std::string, std::int64_t> CompileStats::aggregate_counters() const {
     }
   }
   return all;
+}
+
+void CompileStats::merge_child(const CompileStats& child, double start_offset_s) {
+  const int base = static_cast<int>(spans_.size());
+  const int parent_id = current_span();
+  const int depth_base = static_cast<int>(open_.size());
+  for (const Span& span : child.spans_) {
+    Span copy = span;
+    copy.start_s += start_offset_s;
+    copy.parent = copy.parent < 0 ? parent_id : copy.parent + base;
+    copy.depth += depth_base;
+    copy.open = false;
+    spans_.push_back(std::move(copy));
+  }
+  // A serial run would have counted these on whatever span is open here.
+  for (const auto& [name, value] : child.root_counters_) count(name, value);
+  for (const Decision& decision : child.decisions_) {
+    Decision copy = decision;
+    if (copy.pass.empty()) copy.pass = std::string(current_span_name());
+    decisions_.push_back(std::move(copy));
+  }
 }
 
 double CompileStats::elapsed_s() const { return now_s(); }

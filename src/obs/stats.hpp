@@ -10,10 +10,13 @@
 // collected into a per-compilation CompileStats registry.
 //
 // Collection is opt-in: instrumentation macros (obs/scope.hpp) write to a
-// process-global sink pointer that is null unless a StatsSession is alive,
-// so the disabled cost is one pointer load per site. The library is
-// deterministic and single-threaded by design (see util/logging.hpp), so
-// the sink keeps no locks.
+// thread-local sink pointer that is null unless a StatsSession is alive on
+// that thread, so the disabled cost is one pointer load per site. Because
+// the sink is per-thread, a registry itself needs no locks: worker threads
+// spawned by lcmm::par run against fresh per-task registries, and
+// parallel_for merges them back into the spawning thread's registry in
+// spawn order (merge_child), so collected stats are deterministic no
+// matter how many workers ran (see docs/parallelism.md).
 #pragma once
 
 #include <chrono>
@@ -99,6 +102,15 @@ class CompileStats {
   /// (root-scope counters keep their bare name).
   std::map<std::string, std::int64_t> aggregate_counters() const;
 
+  /// Appends a child registry produced by a parallel worker: spans are
+  /// re-rooted under the currently innermost open span (parents, depths and
+  /// start times adjusted; `start_offset_s` is the child's epoch relative
+  /// to this registry's), root counters land where a serial run would have
+  /// counted them, and decisions recorded outside any child span inherit
+  /// the innermost open span's name. lcmm::par calls this in spawn order,
+  /// which is what makes collected stats worker-count independent.
+  void merge_child(const CompileStats& child, double start_offset_s);
+
   /// Seconds since this registry was created.
   double elapsed_s() const;
 
@@ -113,15 +125,17 @@ class CompileStats {
   std::vector<Decision> decisions_;
 };
 
-/// The process-global sink instrumentation writes to (null = disabled).
+/// The calling thread's sink (null = disabled). The pointer is
+/// thread-local: a StatsSession binds to the thread that created it, and
+/// lcmm::par installs per-task child registries on its workers.
 CompileStats* current();
-/// Installs `stats` as the sink; returns the previous one.
+/// Installs `stats` as the calling thread's sink; returns the previous one.
 CompileStats* set_current(CompileStats* stats);
 
-/// RAII collection scope: installs a fresh CompileStats as the global sink
-/// for its lifetime and restores the previous sink on destruction, so
-/// sessions nest (an outer bench session is shadowed, not clobbered, by an
-/// inner one).
+/// RAII collection scope: installs a fresh CompileStats as the calling
+/// thread's sink for its lifetime and restores the previous sink on
+/// destruction, so sessions nest (an outer bench session is shadowed, not
+/// clobbered, by an inner one).
 class StatsSession {
  public:
   StatsSession() : previous_(set_current(&stats_)) {}

@@ -1,0 +1,54 @@
+#include "par/jobs.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace lcmm::par {
+
+namespace {
+
+int env_jobs() {
+  // Read once at startup; LCMM_JOBS is a launch-time knob, not a runtime one.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): called before any worker exists.
+  const char* env = std::getenv("LCMM_JOBS");
+  if (env == nullptr) return 0;
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(env, &pos);
+    if (pos == std::string(env).size() && v > 0) return v;
+  } catch (const std::exception&) {
+  }
+  return 0;
+}
+
+std::atomic<int>& default_jobs_slot() {
+  static std::atomic<int> slot{env_jobs() > 0 ? env_jobs() : 1};
+  return slot;
+}
+
+}  // namespace
+
+int hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int default_jobs() { return default_jobs_slot().load(std::memory_order_relaxed); }
+
+void set_default_jobs(int jobs) {
+  default_jobs_slot().store(jobs < 1 ? 1 : jobs, std::memory_order_relaxed);
+}
+
+int jobs_from_env_or(int fallback) {
+  const int env = env_jobs();
+  return env > 0 ? env : (fallback < 1 ? 1 : fallback);
+}
+
+int effective_jobs(int jobs) {
+  if (jobs == 0) return default_jobs();
+  return jobs < 1 ? 1 : jobs;
+}
+
+}  // namespace lcmm::par

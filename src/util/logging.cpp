@@ -1,9 +1,11 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 
 namespace lcmm::util {
@@ -13,6 +15,8 @@ namespace {
 /// Initial threshold: the LCMM_LOG_LEVEL environment variable when set and
 /// recognized (debug|info|warn|error|off, case-insensitive), else kWarn.
 LogLevel initial_level() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): runs once during static init,
+  // before any lcmm::par worker can exist.
   const char* env = std::getenv("LCMM_LOG_LEVEL");
   if (env == nullptr) return LogLevel::kWarn;
   std::string name;
@@ -29,7 +33,13 @@ LogLevel initial_level() {
   return LogLevel::kWarn;
 }
 
-LogLevel g_level = initial_level();
+std::atomic<LogLevel> g_level = initial_level();
+
+/// Serializes emitted lines so concurrent workers never interleave text.
+std::mutex& log_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -52,13 +62,18 @@ double elapsed_s() {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, std::string_view message) {
-  if (level < g_level || g_level == LogLevel::kOff) return;
-  std::fprintf(stderr, "[%9.3fs] [%s] %.*s\n", elapsed_s(), level_name(level),
+  const LogLevel threshold = g_level.load(std::memory_order_relaxed);
+  if (level < threshold || threshold == LogLevel::kOff) return;
+  const double now = elapsed_s();
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, "[%9.3fs] [%s] %.*s\n", now, level_name(level),
                static_cast<int>(message.size()), message.data());
 }
 

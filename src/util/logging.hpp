@@ -1,9 +1,12 @@
 // Lightweight leveled logging for the LCMM library.
 //
-// The library is deterministic and single-threaded by design (it is a
-// compile-time allocation framework), so the logger keeps no locks. Output
-// goes to stderr; benches and examples print their results to stdout so the
-// two streams never interleave in redirected runs.
+// The logger is thread-safe: the threshold is atomic and each emitted line
+// is serialized under a mutex, so lines from lcmm::par workers never
+// interleave mid-line (their *order* across threads is scheduling-
+// dependent, which is why determinism-sensitive output goes through
+// obs::CompileStats instead — see docs/parallelism.md). Output goes to
+// stderr; benches and examples print their results to stdout so the two
+// streams never mix in redirected runs.
 //
 // The initial threshold comes from the LCMM_LOG_LEVEL environment variable
 // (debug|info|warn|error|off; default warn); set_log_level overrides it.

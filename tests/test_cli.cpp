@@ -61,6 +61,15 @@ TEST(Cli, NumericOptions) {
   EXPECT_THROW(parse_cli({"--model", "m", "--dse-passes", "two"}), CliError);
 }
 
+TEST(Cli, JobsFlag) {
+  EXPECT_EQ(parse_cli({"--model", "m"}).jobs, 0);  // 0 = auto
+  EXPECT_EQ(parse_cli({"--model", "m", "--jobs", "1"}).jobs, 1);
+  EXPECT_EQ(parse_cli({"--model", "m", "--jobs=8"}).jobs, 8);
+  EXPECT_THROW(parse_cli({"--model", "m", "--jobs", "0"}), CliError);
+  EXPECT_THROW(parse_cli({"--model", "m", "--jobs", "-3"}), CliError);
+  EXPECT_THROW(parse_cli({"--model", "m", "--jobs", "many"}), CliError);
+}
+
 TEST(Cli, RequiresExactlyOneInput) {
   EXPECT_THROW(parse_cli({}), CliError);
   EXPECT_THROW(parse_cli({"--format", "json"}), CliError);

@@ -173,6 +173,66 @@ TEST(Dse, BadOptionsThrow) {
   opt.dsp_budget_fraction = 0.0;
   EXPECT_THROW(Dse(FpgaDevice::vu9p(), Precision::kInt8, opt),
                std::invalid_argument);
+  DseOptions bad_jobs;
+  bad_jobs.jobs = -1;
+  EXPECT_THROW(Dse(FpgaDevice::vu9p(), Precision::kInt8, bad_jobs),
+               std::invalid_argument);
+}
+
+TEST(Dse, FallbackMenuKeepsInt8Packing) {
+  // Regression: when the DSP budget dwarfs every config (> 2x the largest
+  // cost), the dominance prune empties the primary menu and the DSE falls
+  // back to "accept anything that fits". The fallback used to re-enumerate
+  // without the pack dimension, silently dropping int8 pack=2 candidates.
+  FpgaDevice huge = FpgaDevice::vu9p();
+  huge.dsp_total = 100000;  // budget 83000 > 2 * 32768 (the costliest config)
+  DseOptions opt;
+  opt.allow_int8_packing = true;
+  const Dse dse(huge, Precision::kInt8, opt);
+  const auto arrays = dse.array_candidates();
+  ASSERT_FALSE(arrays.empty());
+  // Every config fits below half budget, so this menu is the fallback one.
+  for (const auto& a : arrays) {
+    EXPECT_LE(2 * a.dsp_cost(Precision::kInt8), dse.dsp_budget());
+  }
+  bool has_packed = false;
+  for (const auto& a : arrays) has_packed |= a.pixel_pack == 2;
+  EXPECT_TRUE(has_packed) << "fallback menu lost the pack=2 candidates";
+}
+
+TEST(Dse, LatencyTiesBreakOnDspCostNotMenuOrder) {
+  // Regression: a constant objective makes every candidate tie; the winner
+  // must be the cheapest array (then the lowest menu index), not whichever
+  // candidate a worker happened to report first.
+  auto g = lcmm::testing::chain3();
+  int expected_min_cost = 0;
+  {
+    const Dse probe(FpgaDevice::vu9p(), Precision::kInt8, {});
+    bool first = true;
+    for (const auto& a : probe.array_candidates()) {
+      if (probe.tile_candidates(g, a).empty()) continue;
+      const int cost = a.dsp_cost(Precision::kInt8);
+      if (first || cost < expected_min_cost) expected_min_cost = cost;
+      first = false;
+    }
+    ASSERT_FALSE(first) << "no feasible candidate";
+  }
+  const auto constant = [](const AcceleratorDesign&) { return 1.0; };
+  SystolicArrayConfig winners[2];
+  const int worker_counts[2] = {1, 8};
+  for (int w = 0; w < 2; ++w) {
+    DseOptions opt;
+    opt.jobs = worker_counts[w];
+    const Dse dse(FpgaDevice::vu9p(), Precision::kInt8, opt);
+    const DseResult r = dse.explore(g, constant);
+    EXPECT_EQ(r.design.array.dsp_cost(Precision::kInt8), expected_min_cost)
+        << "jobs " << worker_counts[w];
+    winners[w] = r.design.array;
+  }
+  EXPECT_EQ(winners[0].rows, winners[1].rows);
+  EXPECT_EQ(winners[0].cols, winners[1].cols);
+  EXPECT_EQ(winners[0].simd, winners[1].simd);
+  EXPECT_EQ(winners[0].pixel_pack, winners[1].pixel_pack);
 }
 
 }  // namespace

@@ -30,6 +30,23 @@ TEST(Interference, EdgesFromOverlap) {
   EXPECT_EQ(g.num_edges(), 1u);
 }
 
+TEST(Interference, AdjacencyIsExactlyUpperTriangle) {
+  // Regression: the dense adjacency used to allocate n*(n+1)/2 cells, one
+  // superfluous diagonal's worth — the upper triangle above the diagonal
+  // needs exactly n*(n-1)/2 (and 0, not 1, cells for a single entity).
+  EXPECT_EQ(InterferenceGraph(three_entities()).adjacency_cells(), 3u);
+  EXPECT_EQ(InterferenceGraph({}).adjacency_cells(), 0u);
+  EXPECT_EQ(
+      InterferenceGraph({make_entity(0, TensorSource::kOutput, 100, 0, 2)})
+          .adjacency_cells(),
+      0u);
+  std::vector<TensorEntity> many;
+  for (int i = 0; i < 17; ++i) {
+    many.push_back(make_entity(i, TensorSource::kOutput, 64, i, i + 2));
+  }
+  EXPECT_EQ(InterferenceGraph(many).adjacency_cells(), 17u * 16u / 2u);
+}
+
 TEST(Interference, SelfAlwaysInterferes) {
   InterferenceGraph g(three_entities());
   EXPECT_TRUE(g.interferes(1, 1));

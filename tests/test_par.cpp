@@ -1,0 +1,266 @@
+// lcmm::par: worker-count policy, the thread pool, parallel_for/map, and
+// the determinism contract — results, telemetry and errors must be
+// indistinguishable between serial and parallel runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/batch.hpp"
+#include "hw/dse.hpp"
+#include "models/models.hpp"
+#include "obs/obs.hpp"
+#include "par/par.hpp"
+
+namespace lcmm {
+namespace {
+
+/// Restores the process default worker count on scope exit so tests that
+/// raise it cannot leak into later tests.
+class DefaultJobsGuard {
+ public:
+  DefaultJobsGuard() : saved_(par::default_jobs()) {}
+  ~DefaultJobsGuard() { par::set_default_jobs(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(ParJobs, HardwareJobsAtLeastOne) {
+  EXPECT_GE(par::hardware_jobs(), 1);
+}
+
+TEST(ParJobs, DefaultJobsRoundTrip) {
+  DefaultJobsGuard guard;
+  par::set_default_jobs(3);
+  EXPECT_EQ(par::default_jobs(), 3);
+  EXPECT_EQ(par::effective_jobs(0), 3);
+  EXPECT_EQ(par::effective_jobs(7), 7);
+  // Non-positive requests clamp to serial rather than exploding.
+  par::set_default_jobs(0);
+  EXPECT_EQ(par::default_jobs(), 1);
+  EXPECT_EQ(par::effective_jobs(-2), 1);
+}
+
+TEST(ParThreadPool, RunsSubmittedTasks) {
+  par::ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2);
+  std::atomic<int> done{0};
+  std::mutex m;
+  std::condition_variable cv;
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] {
+      if (done.fetch_add(1) + 1 == 16) {
+        std::lock_guard<std::mutex> lock(m);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return done.load() == 16; }));
+}
+
+TEST(ParThreadPool, EnsureThreadsGrowsButNeverShrinks) {
+  par::ThreadPool pool(1);
+  pool.ensure_threads(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  pool.ensure_threads(2);
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (int jobs : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(100);
+    par::parallel_for(hits.size(), jobs,
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, SerialPathStaysOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  par::parallel_for(8, 1, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoOp) {
+  par::parallel_for(0, 8, [](std::size_t) { FAIL() << "body ran"; });
+}
+
+TEST(ParallelFor, RethrowsLowestFailingIndex) {
+  for (int jobs : {1, 4}) {
+    try {
+      par::parallel_for(64, jobs, [](std::size_t i) {
+        if (i % 2 == 1) throw std::runtime_error("fail@" + std::to_string(i));
+      });
+      FAIL() << "expected a throw (jobs " << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail@1") << "jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, NestedLoopsDoNotDeadlock) {
+  std::atomic<int> total{0};
+  par::parallel_for(4, 4, [&](std::size_t) {
+    par::parallel_for(4, 4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ParallelMap, ResultsLandInIndexOrder) {
+  const auto squares = par::parallel_map(
+      50, 8, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(squares.size(), 50u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], static_cast<int>(i * i));
+  }
+}
+
+/// Scheduling-independent rendering of a registry: everything except the
+/// wall-clock fields (start_s/dur_s vary run to run even serially).
+std::string structural_fingerprint(const obs::CompileStats& stats) {
+  std::ostringstream os;
+  for (const obs::Span& s : stats.spans()) {
+    os << "span " << s.name << " parent=" << s.parent << " depth=" << s.depth
+       << " open=" << s.open;
+    for (const auto& [k, v] : s.counters) os << " " << k << "=" << v;
+    for (const auto& [k, v] : s.gauges) os << " " << k << "=" << v;
+    os << "\n";
+  }
+  for (const auto& [k, v] : stats.root_counters()) {
+    os << "root " << k << "=" << v << "\n";
+  }
+  for (const obs::Decision& d : stats.decisions()) {
+    os << "decision " << d.pass << " " << d.subject << " " << d.bytes << " "
+       << d.accepted << " " << d.reason << "\n";
+  }
+  return os.str();
+}
+
+std::string instrumented_sweep_fingerprint(int jobs) {
+  obs::StatsSession session;
+  {
+    obs::ScopedSpan sweep("sweep");
+    par::parallel_for(6, jobs, [](std::size_t i) {
+      obs::ScopedSpan item("item");
+      if (obs::CompileStats* sink = obs::current()) {
+        sink->count("work", static_cast<std::int64_t>(i));
+        sink->gauge("size", static_cast<double>(i) * 2.0);
+        sink->decide("t" + std::to_string(i), 64, i % 2 == 0, "parity");
+      }
+    });
+  }
+  return structural_fingerprint(session.stats());
+}
+
+TEST(ParallelFor, TelemetryMergesInSpawnOrder) {
+  const std::string serial = instrumented_sweep_fingerprint(1);
+  EXPECT_NE(serial.find("span sweep"), std::string::npos);
+  EXPECT_NE(serial.find("decision item t5"), std::string::npos);
+  for (int jobs : {2, 8}) {
+    EXPECT_EQ(instrumented_sweep_fingerprint(jobs), serial)
+        << "jobs " << jobs;
+  }
+}
+
+TEST(Dse, ExploreIsWorkerCountIndependent) {
+  for (const std::string& name : models::model_names()) {
+    const auto graph = models::build_by_name(name);
+    hw::DseOptions serial_opt;
+    serial_opt.jobs = 1;
+    hw::DseOptions parallel_opt;
+    parallel_opt.jobs = 8;
+    const hw::Dse serial(hw::FpgaDevice::vu9p(), hw::Precision::kInt16,
+                         serial_opt);
+    const hw::Dse parallel(hw::FpgaDevice::vu9p(), hw::Precision::kInt16,
+                           parallel_opt);
+    const hw::DseResult a = serial.explore(graph);
+    const hw::DseResult b = parallel.explore(graph);
+    EXPECT_EQ(a.design.array.rows, b.design.array.rows) << name;
+    EXPECT_EQ(a.design.array.cols, b.design.array.cols) << name;
+    EXPECT_EQ(a.design.array.simd, b.design.array.simd) << name;
+    EXPECT_EQ(a.design.array.pixel_pack, b.design.array.pixel_pack) << name;
+    EXPECT_EQ(a.design.tile, b.design.tile) << name;
+    EXPECT_EQ(a.objective_latency_s, b.objective_latency_s) << name;
+  }
+}
+
+TEST(Batch, CompileManyMatchesSerialCompilation) {
+  std::vector<driver::BatchJob> jobs;
+  for (const char* name : {"alexnet", "squeezenet"}) {
+    for (hw::Precision p : {hw::Precision::kInt8, hw::Precision::kInt16}) {
+      jobs.push_back({models::build_by_name(name), hw::FpgaDevice::vu9p(), p,
+                      core::LcmmOptions{}});
+    }
+  }
+  const auto serial = driver::compile_many(jobs, 1);
+  const auto parallel = driver::compile_many(jobs, 8);
+  ASSERT_EQ(serial.size(), jobs.size());
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << serial[i].error;
+    ASSERT_TRUE(parallel[i].ok()) << parallel[i].error;
+    EXPECT_EQ(serial[i].umm_sim.total_s, parallel[i].umm_sim.total_s) << i;
+    EXPECT_EQ(serial[i].lcmm_sim.total_s, parallel[i].lcmm_sim.total_s) << i;
+    EXPECT_EQ(serial[i].umm_report.latency_ms, parallel[i].umm_report.latency_ms)
+        << i;
+    EXPECT_EQ(serial[i].lcmm_report.latency_ms,
+              parallel[i].lcmm_report.latency_ms)
+        << i;
+    EXPECT_EQ(serial[i].lcmm_plan.buffers.size(),
+              parallel[i].lcmm_plan.buffers.size())
+        << i;
+  }
+}
+
+TEST(Batch, CompileStatsAreWorkerCountIndependent) {
+  // The --stats-json contract: a full instrumented compile collects a
+  // structurally identical registry whatever the worker count (wall-clock
+  // fields aside — those differ between two serial runs too).
+  const auto fingerprint = [](int workers) {
+    std::vector<driver::BatchJob> jobs;
+    jobs.push_back({models::build_by_name("googlenet"), hw::FpgaDevice::vu9p(),
+                    hw::Precision::kInt16, core::LcmmOptions{}});
+    jobs.push_back({models::build_by_name("alexnet"), hw::FpgaDevice::vu9p(),
+                    hw::Precision::kInt8, core::LcmmOptions{}});
+    obs::StatsSession session;
+    const auto outcomes = driver::compile_many(jobs, workers);
+    for (const auto& o : outcomes) EXPECT_TRUE(o.ok()) << o.error;
+    return structural_fingerprint(session.stats());
+  };
+  const std::string serial = fingerprint(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(fingerprint(8), serial);
+}
+
+TEST(Batch, FailedJobReportsErrorWithoutKillingTheSweep) {
+  std::vector<driver::BatchJob> jobs;
+  jobs.push_back({models::build_by_name("alexnet"), hw::FpgaDevice::vu9p(),
+                  hw::Precision::kInt16, core::LcmmOptions{}});
+  // A device with no DSPs has no feasible design; its job must fail in
+  // isolation (Dse::explore throws inside the worker).
+  hw::FpgaDevice no_dsps = hw::FpgaDevice::vu9p();
+  no_dsps.dsp_total = 0;
+  jobs.push_back({models::build_by_name("alexnet"), no_dsps,
+                  hw::Precision::kInt16, core::LcmmOptions{}});
+  const auto outcomes = driver::compile_many(jobs, 2);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].ok()) << outcomes[0].error;
+  EXPECT_FALSE(outcomes[1].ok());
+  EXPECT_FALSE(outcomes[1].error.empty());
+}
+
+}  // namespace
+}  // namespace lcmm

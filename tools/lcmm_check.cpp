@@ -17,9 +17,10 @@
 #include "check/check.hpp"
 #include "check/emit.hpp"
 #include "cli/options.hpp"
+#include "driver/batch.hpp"
 #include "io/text_format.hpp"
 #include "models/models.hpp"
-#include "sim/timeline.hpp"
+#include "par/jobs.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -39,6 +40,8 @@ struct CheckCliOptions {
   bool strict = false;
   bool list_rules = false;
   bool show_help = false;
+  /// Worker threads (0 = auto: LCMM_JOBS or hardware concurrency).
+  int jobs = 0;
   core::LcmmOptions lcmm;
 };
 
@@ -51,6 +54,9 @@ std::string usage() {
          "  --allocator dnnk|greedy|exact\n"
          "  --capacity-fraction F    fraction of free SRAM handed to DNNK\n"
          "  --strict                 warnings fail the check too\n"
+         "  --jobs N                 worker threads (default: LCMM_JOBS or the\n"
+         "                           hardware concurrency); reports are\n"
+         "                           identical for every N\n"
          "  --format text|json|sarif report format (default text)\n"
          "  --output PATH            write the report to PATH (default stdout)\n"
          "  --list-rules             print the diagnostic rule table and exit\n"
@@ -132,6 +138,15 @@ CheckCliOptions parse(const std::vector<std::string>& args) {
       } else {
         throw cli::CliError("--allocator must be dnnk, greedy or exact");
       }
+    } else if (consume_value(args, i, "--jobs", value)) {
+      try {
+        std::size_t pos = 0;
+        opt.jobs = std::stoi(value, &pos);
+        if (pos != value.size() || opt.jobs < 1) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        throw cli::CliError("--jobs: expected an integer >= 1, got '" + value +
+                            "'");
+      }
     } else if (consume_value(args, i, "--capacity-fraction", value)) {
       try {
         opt.lcmm.sram_capacity_fraction = std::stod(value);
@@ -162,30 +177,42 @@ int list_rules() {
 }
 
 int run(const CheckCliOptions& opt) {
+  par::set_default_jobs(opt.jobs > 0
+                            ? opt.jobs
+                            : par::jobs_from_env_or(par::hardware_jobs()));
+
   graph::ComputationGraph graph =
       opt.model.empty() ? io::load_graph_file(opt.graph_file)
                         : models::build_by_name(opt.model);
   const hw::FpgaDevice device = cli::resolve_device(opt.device);
-  const core::LcmmCompiler compiler(device, opt.precision, opt.lcmm);
   const check::CheckOptions check_options =
       check::CheckOptions::from(opt.lcmm, opt.strict);
 
-  std::vector<check::CheckedPlan> checked;
-  const auto check_plan = [&](core::AllocationPlan plan, const char* design) {
-    check::CheckedPlan run;
-    run.label = {graph.name(), design, hw::to_string(opt.precision)};
-    run.report = check::run_checks(graph, plan, check_options);
-    checked.push_back(std::move(run));
-  };
+  // Compile the requested designs concurrently through the batch driver.
+  // The LCMM outcome comes back post-refinement, which is the plan the
+  // simulator would actually consume — the same plan lcmm_compile ships.
+  std::vector<driver::BatchJob> jobs;
   if (opt.design != cli::DesignChoice::kLcmm) {
-    check_plan(compiler.compile_umm(graph), "umm");
+    jobs.push_back({graph, device, opt.precision, opt.lcmm,
+                    /*want_umm=*/true, /*want_lcmm=*/false});
   }
   if (opt.design != cli::DesignChoice::kUmm) {
-    core::AllocationPlan plan = compiler.compile(graph);
-    // Check the plan the simulator would actually consume (post-refinement),
-    // the same way lcmm_compile ships it.
-    sim::refine_against_stalls(graph, plan);
-    check_plan(std::move(plan), "lcmm");
+    jobs.push_back({graph, device, opt.precision, opt.lcmm,
+                    /*want_umm=*/false, /*want_lcmm=*/true});
+  }
+  std::vector<driver::BatchOutcome> outcomes = driver::compile_many(jobs);
+
+  std::vector<check::CheckedPlan> checked;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    driver::BatchOutcome& outcome = outcomes[i];
+    if (!outcome.ok()) throw std::runtime_error(outcome.error);
+    const bool umm = jobs[i].want_umm;
+    check::CheckedPlan run;
+    run.label = {graph.name(), umm ? "umm" : "lcmm",
+                 hw::to_string(opt.precision)};
+    run.report = check::run_checks(
+        graph, umm ? outcome.umm_plan : outcome.lcmm_plan, check_options);
+    checked.push_back(std::move(run));
   }
 
   std::ostream* out = &std::cout;

@@ -11,11 +11,13 @@
 #include "check/emit.hpp"
 #include "cli/options.hpp"
 #include "core/validate.hpp"
+#include "driver/batch.hpp"
 #include "graph/dot.hpp"
 #include "hw/roofline.hpp"
 #include "io/text_format.hpp"
 #include "models/models.hpp"
 #include "obs/obs.hpp"
+#include "par/jobs.hpp"
 #include "sim/chrome_trace.hpp"
 #include "sim/memory_trace.hpp"
 #include "sim/report.hpp"
@@ -72,6 +74,9 @@ void print_csv_report(const sim::DesignReport& r, bool header) {
 
 int run(const cli::Options& opt) {
   if (opt.verbose) util::set_log_level(util::LogLevel::kDebug);
+  par::set_default_jobs(opt.jobs > 0
+                            ? opt.jobs
+                            : par::jobs_from_env_or(par::hardware_jobs()));
 
   // Compiler telemetry is collected only when requested: without a session
   // the instrumentation macros cost one pointer load per site.
@@ -94,23 +99,36 @@ int run(const cli::Options& opt) {
   }
 
   const hw::FpgaDevice device = cli::resolve_device(opt.device);
-  core::LcmmCompiler compiler(device, opt.precision, opt.lcmm);
+
+  // Each requested design is one batch job, so `--design both` compiles
+  // UMM and LCMM concurrently (and the DSE inside each fans out further).
+  std::vector<driver::BatchJob> jobs;
+  if (opt.design != cli::DesignChoice::kLcmm) {
+    jobs.push_back({graph, device, opt.precision, opt.lcmm,
+                    /*want_umm=*/true, /*want_lcmm=*/false});
+  }
+  if (opt.design != cli::DesignChoice::kUmm) {
+    jobs.push_back({graph, device, opt.precision, opt.lcmm,
+                    /*want_umm=*/false, /*want_lcmm=*/true});
+  }
+  const std::vector<driver::BatchOutcome> outcomes = driver::compile_many(jobs);
 
   struct Compiled {
     core::AllocationPlan plan;
     sim::SimResult sim;
   };
   std::vector<Compiled> runs;
-  if (opt.design != cli::DesignChoice::kLcmm) {
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    driver::BatchOutcome outcome = outcomes[i];
+    if (!outcome.ok()) throw std::runtime_error(outcome.error);
     Compiled c;
-    c.plan = compiler.compile_umm(graph);
-    c.sim = sim::simulate(graph, c.plan);
-    runs.push_back(std::move(c));
-  }
-  if (opt.design != cli::DesignChoice::kUmm) {
-    Compiled c;
-    c.plan = compiler.compile(graph);
-    c.sim = sim::refine_against_stalls(graph, c.plan);
+    if (jobs[i].want_umm) {
+      c.plan = std::move(outcome.umm_plan);
+      c.sim = std::move(outcome.umm_sim);
+    } else {
+      c.plan = std::move(outcome.lcmm_plan);
+      c.sim = std::move(outcome.lcmm_sim);
+    }
     runs.push_back(std::move(c));
   }
 
