@@ -33,7 +33,10 @@ ComputationGraph::ComputationGraph(ComputationGraph&& other) noexcept {
 
 ComputationGraph& ComputationGraph::operator=(ComputationGraph&& other) noexcept {
   if (this == &other) return *this;
-  std::lock_guard<std::mutex> lock(other.topo_mutex_);
+  // Moves require exclusive access to `other` (standard move semantics);
+  // no lock is taken here. Locking would not make moving a concurrently
+  // used graph safe, and std::mutex::lock can throw, which a noexcept
+  // operation must not risk.
   name_ = std::move(other.name_);
   current_stage_ = std::move(other.current_stage_);
   layers_ = std::move(other.layers_);

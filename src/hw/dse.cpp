@@ -1,5 +1,6 @@
 #include "hw/dse.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "par/parallel_for.hpp"
@@ -122,8 +123,18 @@ DseResult Dse::explore(const graph::ComputationGraph& graph,
   int best_cost = menu[0].array.dsp_cost(precision_);
   std::int64_t ties_broken = 0;
   for (std::size_t i = 1; i < menu.size(); ++i) {
-    if (latencies[i] > latencies[best]) continue;
+    // A NaN latency compares false both ways and would otherwise be
+    // treated as an exact tie; reject non-finite candidates outright.
+    if (!std::isfinite(latencies[i])) continue;
     const int cost = menu[i].array.dsp_cost(precision_);
+    if (!std::isfinite(latencies[best])) {
+      // Only possible when candidate #0 was non-finite: the first finite
+      // latency unconditionally takes over.
+      best = i;
+      best_cost = cost;
+      continue;
+    }
+    if (latencies[i] > latencies[best]) continue;
     if (latencies[i] < latencies[best]) {
       best = i;
       best_cost = cost;

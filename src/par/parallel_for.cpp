@@ -66,10 +66,11 @@ void parallel_for(std::size_t n, int jobs,
   for (std::size_t w = 1; w < workers; ++w) {
     pool.submit([&] {
       drain();
-      {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        --pending;
-      }
+      // Notify under the lock: once the waiter observes pending == 0 it
+      // returns and destroys the stack-local cv/mutex, so an unlocked
+      // notify could race with their destruction.
+      std::lock_guard<std::mutex> lock(done_mutex);
+      --pending;
       done_cv.notify_one();
     });
   }
