@@ -127,6 +127,17 @@ Options parse_cli(const std::vector<std::string>& args) {
       opt.lcmm.residency_promotion = false;
     } else if (arg == "--no-fallback") {
       opt.lcmm.allow_fallback_to_umm = false;
+    } else if (arg == "--strict") {
+      opt.lcmm.strict = true;
+    } else if (consume_value(args, i, "--job-timeout", value)) {
+      opt.job_timeout_s = to_double("--job-timeout", value);
+      if (opt.job_timeout_s <= 0) throw CliError("--job-timeout must be > 0");
+    } else if (consume_value(args, i, "--retries", value)) {
+      const int retries = to_int("--retries", value);
+      if (retries < 0) throw CliError("--retries must be >= 0");
+      opt.job_attempts = retries + 1;
+    } else if (arg == "--list-fault-sites") {
+      opt.list_fault_sites = true;
     } else if (consume_value(args, i, "--chrome-trace", value)) {
       opt.chrome_trace_path = value;
     } else if (consume_value(args, i, "--stats-json", value)) {
@@ -158,7 +169,7 @@ Options parse_cli(const std::vector<std::string>& args) {
       throw CliError("unknown option '" + arg + "' (see --help)");
     }
   }
-  if (opt.show_help) return opt;
+  if (opt.show_help || opt.list_fault_sites) return opt;
   if (opt.model.empty() == opt.graph_file.empty()) {
     throw CliError("exactly one of --model or --graph is required");
   }
@@ -184,6 +195,15 @@ std::string usage() {
         "  --capacity-fraction F fraction of free SRAM handed to DNNK\n"
         "  --no-feature-reuse --no-prefetch --no-splitting --no-promotion\n"
         "  --no-fallback         keep the LCMM design even if UMM is faster\n"
+        "  --strict              fail hard on the first typed compile error\n"
+        "                        instead of walking the resil degradation\n"
+        "                        ladder down to UMM (docs/robustness.md)\n"
+        "  --job-timeout S       soft per-job wall-clock budget in seconds for\n"
+        "                        batch compilation (checked at phase boundaries)\n"
+        "  --retries N           retries per batch job for transient failures\n"
+        "                        (default 1; deterministic errors never retry)\n"
+        "  --list-fault-sites    print the registered LCMM_FAULT injection\n"
+        "                        sites and exit\n"
         "  --jobs N              worker threads for DSE candidate evaluation\n"
         "                        and batch compilation (default: LCMM_JOBS or\n"
         "                        the hardware concurrency); plans, reports and\n"

@@ -58,6 +58,13 @@ struct Options {
   bool check = false;
   /// --check=strict: warnings gate the exit code too.
   bool check_strict = false;
+  /// --list-fault-sites: print the resil fault-injection sites and exit.
+  bool list_fault_sites = false;
+  /// Per-job wall-clock budget in seconds for batch compilation
+  /// (<= 0 = unlimited), checked at phase boundaries.
+  double job_timeout_s = 0.0;
+  /// Attempts per batch job (transient failures retry; default 2).
+  int job_attempts = 2;
 };
 
 /// Parses argv (argv[0] is skipped). Throws CliError on bad input.

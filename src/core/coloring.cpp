@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/scope.hpp"
+#include "resil/error.hpp"
 
 namespace lcmm::core {
 
@@ -86,7 +87,8 @@ ColoringResult color_optimal_small(const InterferenceGraph& graph,
                                    std::size_t max_entities) {
   const std::size_t n = graph.size();
   if (n > max_entities) {
-    throw std::invalid_argument("color_optimal_small: graph too large (" +
+    throw resil::OptionError(resil::Code::kGraphTooLarge, "pass.coloring",
+        "color_optimal_small: graph too large (" +
                                 std::to_string(n) + " entities)");
   }
   ColoringResult best;

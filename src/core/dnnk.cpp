@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/scope.hpp"
+#include "resil/error.hpp"
 
 namespace lcmm::core {
 
@@ -28,7 +29,8 @@ std::vector<std::size_t> ordered_members(const InterferenceGraph& graph,
 
 std::int64_t quantized_units(std::int64_t bytes, const AllocatorOptions& options) {
   if (options.granularity_bytes <= 0) {
-    throw std::invalid_argument("AllocatorOptions: granularity <= 0");
+    throw resil::OptionError(resil::Code::kBadOptions, "pass.dnnk",
+                             "AllocatorOptions: granularity <= 0");
   }
   return (bytes + options.granularity_bytes - 1) / options.granularity_bytes;
 }
@@ -39,7 +41,8 @@ AllocatorResult evaluate_selection(const InterferenceGraph& graph,
                                    const std::vector<bool>& selection,
                                    const AllocatorOptions& options) {
   if (selection.size() != buffers.size()) {
-    throw std::invalid_argument("evaluate_selection: selection size mismatch");
+    throw resil::OptionError(resil::Code::kBadArgument, "pass.dnnk",
+                             "evaluate_selection: selection size mismatch");
   }
   AllocatorResult result;
   result.buffer_on_chip = selection;
@@ -65,7 +68,10 @@ AllocatorResult dnnk_allocate(const InterferenceGraph& graph,
   LCMM_SPAN("dnnk");
   const std::size_t n = buffers.size();
   const std::int64_t w_cap = capacity_bytes / options.granularity_bytes;
-  if (w_cap < 0) throw std::invalid_argument("dnnk_allocate: negative capacity");
+  if (w_cap < 0) {
+    throw resil::OptionError(resil::Code::kBadArgument, "pass.dnnk",
+                             "dnnk_allocate: negative capacity");
+  }
   const std::size_t width = static_cast<std::size_t>(w_cap) + 1;
   LCMM_COUNT("buffers", static_cast<std::int64_t>(n));
   LCMM_COUNT("dp_cells", static_cast<std::int64_t>(n * width));
@@ -205,11 +211,13 @@ AllocatorResult exact_allocate(const InterferenceGraph& graph,
                                const AllocatorOptions& options,
                                std::size_t max_buffers) {
   if (max_buffers > 24) {
-    throw std::invalid_argument("exact_allocate: max_buffers cap is 24");
+    throw resil::OptionError(resil::Code::kBadOptions, "pass.dnnk",
+                             "exact_allocate: max_buffers cap is 24");
   }
   const std::size_t n = buffers.size();
   if (n > max_buffers) {
-    throw std::invalid_argument("exact_allocate: too many buffers (" +
+    throw resil::OptionError(resil::Code::kGraphTooLarge, "pass.dnnk",
+        "exact_allocate: too many buffers (" +
                                 std::to_string(n) + ")");
   }
   LCMM_SPAN("exact");

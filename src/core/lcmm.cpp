@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/scope.hpp"
+#include "resil/fault.hpp"
 #include "util/logging.hpp"
 
 namespace lcmm::core {
@@ -23,7 +24,8 @@ AllocatorResult run_allocator(AllocatorKind kind, const InterferenceGraph& ig,
     case AllocatorKind::kExact:
       return exact_allocate(ig, buffers, tables, capacity, options);
   }
-  throw std::logic_error("run_allocator: bad kind");
+  throw resil::CompileError(resil::Code::kInternal, "pass.dnnk",
+                            "run_allocator: bad allocator kind");
 }
 
 /// Grants consumers whose entire value sits on chip a free on-chip read:
@@ -69,16 +71,19 @@ LcmmCompiler::LcmmCompiler(hw::FpgaDevice device, hw::Precision precision,
     : device_(std::move(device)), precision_(precision),
       options_(std::move(options)) {
   if (options_.sram_capacity_fraction <= 0 || options_.sram_capacity_fraction > 1) {
-    throw std::invalid_argument("LcmmOptions: bad sram_capacity_fraction");
+    throw resil::OptionError(resil::Code::kBadOptions, "core.options",
+                             "LcmmOptions: bad sram_capacity_fraction");
   }
   if (options_.dse_passes < 1 || options_.dse_passes > 4) {
-    throw std::invalid_argument("LcmmOptions: dse_passes must be in [1,4]");
+    throw resil::OptionError(resil::Code::kBadOptions, "core.options",
+                             "LcmmOptions: dse_passes must be in [1,4]");
   }
 }
 
 void LcmmCompiler::place_physical(AllocationPlan& plan,
                                   const graph::ComputationGraph& graph) const {
   LCMM_SPAN("place");
+  resil::fault::hit("pass.place");
   mem::SramPools pools(device_.bram36_total, device_.uram_total);
   plan.tile_buffers =
       hw::tile_buffer_bytes(graph, plan.design.array, plan.design.tile,
@@ -88,7 +93,9 @@ void LcmmCompiler::place_physical(AllocationPlan& plan,
        {plan.tile_buffers.input, plan.tile_buffers.weight, plan.tile_buffers.output}) {
     if (bytes <= 0) continue;
     if (!pools.allocate(bytes, mem::SramPool::kBram)) {
-      throw std::runtime_error("tile buffers do not fit on the device");
+      throw resil::CompileError(resil::Code::kTileBuffersDontFit, "pass.place",
+                                "tile buffers do not fit on the device",
+                                graph.name());
     }
   }
   // Tensor buffers prefer URAM; largest first to reduce fragmentation
@@ -186,12 +193,15 @@ AllocationPlan LcmmCompiler::allocate_under_design(
     }
   }
 
-  // Passes 2+3: entities.
+  // Passes 2+3: entities. Fault sites sit inside the feature gates so the
+  // ladder rung that disables a feature also sidesteps its faults.
   std::vector<TensorEntity> entities;
   if (options_.feature_reuse) {
+    resil::fault::hit("pass.liveness");
     entities = build_feature_entities(model, options_.liveness);
   }
   if (options_.weight_prefetch) {
+    resil::fault::hit("pass.prefetch");
     plan.prefetch = build_prefetch_schedule(model, options_.liveness);
     std::vector<TensorEntity> weights =
         build_weight_entities(model, plan.prefetch);
@@ -209,9 +219,12 @@ AllocationPlan LcmmCompiler::allocate_under_design(
   LCMM_GAUGE("capacity_bytes", static_cast<double>(capacity));
 
   InterferenceGraph ig(std::move(entities));
+  resil::fault::hit("pass.coloring");
+  resil::fault::hit("pass.dnnk");
   AllocatorResult allocation;
   std::vector<VirtualBuffer> buffers;
   if (options_.buffer_splitting && options_.allocator == AllocatorKind::kDnnk) {
+    resil::fault::hit("pass.splitting");
     SplitOutcome outcome = split_and_reallocate(ig, tables, capacity,
                                                 options_.alloc, options_.split);
     buffers = std::move(outcome.buffers);
@@ -248,13 +261,97 @@ AllocationPlan LcmmCompiler::allocate_under_design(
 AllocationPlan LcmmCompiler::compile_with_design(
     const graph::ComputationGraph& graph,
     const hw::AcceleratorDesign& design) const {
+  // Caller-fixed designs bypass the ladder (there is no rung to retreat
+  // to without re-running DSE); typed errors propagate.
+  resil::fault::Scope fault_scope;
   return allocate_under_design(graph, design);
 }
 
+LcmmOptions degrade_options(const LcmmOptions& base, resil::Rung rung) {
+  LcmmOptions out = base;
+  const auto at_least = [&](resil::Rung r) {
+    return static_cast<int>(rung) >= static_cast<int>(r);
+  };
+  if (at_least(resil::Rung::kShrunkDnnk)) {
+    // Smaller tile menu, halved DNNK capacity, finer DP granularity: the
+    // cheapest retreat — keeps every paper technique, just asks for less.
+    out.dse.tile_bram_fraction = std::max(0.02, base.dse.tile_bram_fraction * 0.5);
+    out.sram_capacity_fraction =
+        std::clamp(base.sram_capacity_fraction * 0.5, 1e-6, 1.0);
+    out.alloc.granularity_bytes =
+        std::max<std::int64_t>(1024, base.alloc.granularity_bytes / 4);
+  }
+  if (at_least(resil::Rung::kNoPrefetch)) {
+    out.weight_prefetch = false;
+  }
+  if (at_least(resil::Rung::kNoFeatureReuse)) {
+    out.feature_reuse = false;
+    out.buffer_splitting = false;
+  }
+  return out;
+}
+
 AllocationPlan LcmmCompiler::compile(const graph::ComputationGraph& graph) const {
-  // The top-level compile pipeline (paper Fig. 4); every pass span nests
-  // under this one.
+  // One pipeline span and one fault budget per top-level compile, no
+  // matter how many ladder rungs run inside.
   LCMM_SPAN("pipeline");
+  resil::fault::Scope fault_scope;
+
+  if (options_.strict) {
+    AllocationPlan plan = compile_full(graph);
+    LCMM_DECIDE("ladder", 0, true, resil::rung_name(plan.rung));
+    return plan;
+  }
+
+  using resil::Rung;
+  std::string reason;
+  for (Rung rung : {Rung::kFullLcmm, Rung::kShrunkDnnk, Rung::kNoPrefetch,
+                    Rung::kNoFeatureReuse}) {
+    try {
+      AllocationPlan plan =
+          rung == Rung::kFullLcmm
+              ? compile_full(graph)
+              : LcmmCompiler(device_, precision_, degrade_options(options_, rung))
+                    .compile_full(graph);
+      plan.rung = rung;
+      plan.degrade_reason = reason;
+      if (rung != Rung::kFullLcmm) {
+        LCMM_WARN() << "LCMM(" << graph.name() << "): degraded to rung '"
+                    << resil::rung_name(rung) << "' after " << reason;
+        LCMM_COUNT("ladder_degraded", 1);
+      }
+      LCMM_DECIDE("ladder", 0, true, resil::rung_name(rung));
+      return plan;
+    } catch (const resil::OptionError&) {
+      throw;  // caller contract violations are never ladder-recoverable
+    } catch (const std::exception& e) {
+      const resil::ErrorInfo info = resil::describe(e);
+      reason = resil::code_id(info.code) +
+               (info.pass.empty() ? std::string() : "@" + info.pass);
+      LCMM_WARN() << "LCMM(" << graph.name() << "): rung '"
+                  << resil::rung_name(rung) << "' failed with " << reason
+                  << ": " << info.message;
+      LCMM_COUNT("ladder_rung_failures", 1);
+      LCMM_DECIDE("ladder", 0, false,
+                  std::string(resil::rung_name(rung)) + ":" + reason);
+    }
+  }
+
+  // The floor: a semantically valid UMM plan. If even this throws, the
+  // error propagates — the ladder degrades no further than UMM.
+  AllocationPlan plan = compile_umm(graph);
+  plan.is_umm = false;  // mirrors the no-benefit fallback convention
+  plan.rung = Rung::kUmm;
+  plan.degrade_reason = reason;
+  LCMM_WARN() << "LCMM(" << graph.name()
+              << "): every LCMM rung failed; shipping the UMM baseline after "
+              << reason;
+  LCMM_COUNT("ladder_degraded", 1);
+  LCMM_DECIDE("ladder", 0, true, resil::rung_name(Rung::kUmm));
+  return plan;
+}
+
+AllocationPlan LcmmCompiler::compile_full(const graph::ComputationGraph& graph) const {
   hw::DseOptions dse_options = options_.dse;
   dse_options.heavy_uram_use = true;  // LCMM designs lean on URAM
   const hw::Dse dse(device_, precision_, dse_options);
@@ -316,8 +413,32 @@ AllocationPlan LcmmCompiler::compile(const graph::ComputationGraph& graph) const
 
 AllocationPlan LcmmCompiler::compile_umm(const graph::ComputationGraph& graph) const {
   LCMM_SPAN("umm_baseline");
+  resil::fault::Scope fault_scope;
+  // UMM is the ladder floor, so it gets its own bounded retreat: on a typed
+  // failure, retry with a progressively smaller tile BRAM budget.
+  static constexpr double kTileScale[] = {1.0, 0.5, 0.25};
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return compile_umm_attempt(graph, kTileScale[attempt]);
+    } catch (const resil::OptionError&) {
+      throw;
+    } catch (const std::exception& e) {
+      if (options_.strict || attempt + 1 >= std::size(kTileScale)) throw;
+      const resil::ErrorInfo info = resil::describe(e);
+      LCMM_WARN() << "UMM(" << graph.name() << "): attempt " << attempt + 1
+                  << " failed with " << resil::code_id(info.code)
+                  << "; retrying with a smaller tile budget";
+      LCMM_COUNT("umm_retries", 1);
+    }
+  }
+}
+
+AllocationPlan LcmmCompiler::compile_umm_attempt(
+    const graph::ComputationGraph& graph, double tile_scale) const {
   hw::DseOptions dse_options = options_.dse;
   dse_options.heavy_uram_use = false;
+  dse_options.tile_bram_fraction =
+      std::max(0.02, dse_options.tile_bram_fraction * tile_scale);
   const hw::Dse dse(device_, precision_, dse_options);
   const hw::DseResult seed = [&] {
     LCMM_SPAN("dse");
@@ -327,6 +448,7 @@ AllocationPlan LcmmCompiler::compile_umm(const graph::ComputationGraph& graph) c
   hw::PerfModel model(graph, seed.design);
   AllocationPlan plan;
   plan.is_umm = true;
+  plan.rung = resil::Rung::kUmm;
   plan.design = seed.design;
   plan.state = OnChipState(graph.num_layers());
   plan.umm_latency_s = model.umm_total_latency();

@@ -20,6 +20,7 @@
 #include "core/splitting.hpp"
 #include "hw/dse.hpp"
 #include "mem/sram.hpp"
+#include "resil/error.hpp"
 
 namespace lcmm::core {
 
@@ -37,6 +38,9 @@ struct LcmmOptions {
   /// (Fig. 8) where the pass's raw effect is the point.
   bool allow_fallback_to_umm = true;
   AllocatorKind allocator = AllocatorKind::kDnnk;
+  /// Fail hard: a typed compile failure propagates instead of walking the
+  /// resil degradation ladder (the pre-resil throwing behavior; --strict).
+  bool strict = false;
   /// 1 = keep the UMM-optimal design; 2 = re-run DSE under the allocation.
   int dse_passes = 2;
   /// Fraction of post-tile-buffer SRAM handed to DNNK as R_sram (the rest
@@ -57,6 +61,14 @@ struct PhysicalBuffer {
 struct AllocationPlan {
   bool is_umm = false;
   hw::AcceleratorDesign design;
+
+  /// Degradation-ladder rung this plan was produced on. kFullLcmm means no
+  /// degradation happened (the paper pipeline ran to completion — which
+  /// includes the deliberate no-benefit fallback to the uniform design).
+  resil::Rung rung = resil::Rung::kFullLcmm;
+  /// Why the ladder moved past full LCMM ("LCMM-E801@pass.dnnk"); empty
+  /// when rung == kFullLcmm.
+  std::string degrade_reason;
 
   /// Allocation entities and the virtual buffers over them. `buffers`
   /// indexes into `entities` via VirtualBuffer::members.
@@ -122,6 +134,12 @@ class LcmmCompiler {
   hw::Precision precision() const { return precision_; }
 
  private:
+  /// One full pipeline attempt (the pre-resil compile body). Throws typed
+  /// errors; the ladder in compile() decides what happens next.
+  AllocationPlan compile_full(const graph::ComputationGraph& graph) const;
+  /// One UMM attempt with the tile BRAM budget scaled by `tile_scale`.
+  AllocationPlan compile_umm_attempt(const graph::ComputationGraph& graph,
+                                     double tile_scale) const;
   AllocationPlan allocate_under_design(const graph::ComputationGraph& graph,
                                        const hw::AcceleratorDesign& design) const;
   void place_physical(AllocationPlan& plan,
@@ -131,5 +149,11 @@ class LcmmCompiler {
   hw::Precision precision_;
   LcmmOptions options_;
 };
+
+/// Options for one ladder rung: restrictions are cumulative down the
+/// ladder (kShrunkDnnk shrinks tile menu/capacity/granularity; kNoPrefetch
+/// additionally disables §3.2; kNoFeatureReuse additionally disables
+/// §3.1/§3.4). kFullLcmm returns `base` unchanged.
+LcmmOptions degrade_options(const LcmmOptions& base, resil::Rung rung);
 
 }  // namespace lcmm::core

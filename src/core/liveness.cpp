@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/scope.hpp"
+#include "resil/checked.hpp"
 
 namespace lcmm::core {
 
@@ -48,7 +49,8 @@ std::vector<TensorEntity> build_feature_entities(const hw::PerfModel& model,
       e.key = {layer.id, TensorSource::kInput};
       e.value = layer.input;
       e.name = graph.value(layer.input).name + "@" + layer.name;
-      e.bytes = graph.value(layer.input).shape.elems() * bpe;
+      e.bytes = resil::checked_mul(graph.value(layer.input).shape.elems(),
+                                   bpe, "feature bytes");
       e.def_step = value_def_step(graph, layer.input);
       e.last_use_step = step;
       e.stream_latency_s = t.if_s;
@@ -60,7 +62,8 @@ std::vector<TensorEntity> build_feature_entities(const hw::PerfModel& model,
       e.key = {layer.id, TensorSource::kResidual};
       e.value = layer.residual;
       e.name = graph.value(layer.residual).name + "@" + layer.name + ".res";
-      e.bytes = graph.value(layer.residual).shape.elems() * bpe;
+      e.bytes = resil::checked_mul(graph.value(layer.residual).shape.elems(),
+                                   bpe, "feature bytes");
       e.def_step = value_def_step(graph, layer.residual);
       e.last_use_step = step;
       e.stream_latency_s = t.res_s;
@@ -73,7 +76,8 @@ std::vector<TensorEntity> build_feature_entities(const hw::PerfModel& model,
       e.key = {layer.id, TensorSource::kOutput};
       e.value = layer.output;
       e.name = layer.name + ".of";
-      e.bytes = graph.own_output_shape(layer.id).elems() * bpe;
+      e.bytes = resil::checked_mul(graph.own_output_shape(layer.id).elems(),
+                                   bpe, "feature bytes");
       e.def_step = step;
       e.last_use_step = value_last_use_step(graph, layer.output);
       e.stream_latency_s = t.of_s;

@@ -8,6 +8,7 @@
 #include "obs/scope.hpp"
 #include "sim/timeline.hpp"
 #include "util/logging.hpp"
+#include "resil/error.hpp"
 
 namespace lcmm::core {
 
@@ -38,7 +39,8 @@ graph::ComputationGraph extract_segment(const graph::ComputationGraph& graph,
   const std::vector<graph::LayerId>& order = graph.topo_order();
   if (first_step < 0 || last_step >= static_cast<int>(order.size()) ||
       first_step > last_step) {
-    throw std::invalid_argument("extract_segment: bad step range");
+    throw resil::OptionError(resil::Code::kBadArgument, "core.pipeline",
+                             "extract_segment: bad step range");
   }
   graph::ComputationGraph segment(graph.name() + "[" +
                                   std::to_string(first_step) + ".." +
@@ -52,7 +54,8 @@ graph::ComputationGraph extract_segment(const graph::ComputationGraph& graph,
     for (graph::LayerId p : v.producers) {
       const int s = graph.step_of(p);
       if (s >= first_step && s <= last_step) {
-        throw std::invalid_argument(
+        throw resil::OptionError(
+            resil::Code::kBadArgument, "core.pipeline",
             "extract_segment: value '" + v.name +
             "' has producers on both sides of the cut");
       }
@@ -113,14 +116,16 @@ graph::ComputationGraph extract_segment(const graph::ComputationGraph& graph,
         }
       }
       if (parts.size() != members.size()) {
-        throw std::logic_error("extract_segment: concat reconstruction failed");
+        throw resil::CompileError(resil::Code::kInternal, "core.pipeline",
+                                  "extract_segment: concat reconstruction failed");
       }
       mapped.emplace(l.output, segment.add_concat(old_out.name, parts));
       pending_concats.erase(l.output);
     }
   }
   if (!pending_concats.empty()) {
-    throw std::invalid_argument(
+    throw resil::OptionError(
+        resil::Code::kBadArgument, "core.pipeline",
         "extract_segment: cut splits a concat producer group");
   }
   segment.validate();
@@ -135,7 +140,8 @@ PipelinePartitioner::PipelinePartitioner(hw::FpgaDevice device,
 
 hw::FpgaDevice PipelinePartitioner::device_slice(int num_segments) const {
   if (num_segments < 1) {
-    throw std::invalid_argument("device_slice: num_segments < 1");
+    throw resil::OptionError(resil::Code::kBadArgument, "core.pipeline",
+                             "device_slice: num_segments < 1");
   }
   hw::FpgaDevice slice = device_;
   slice.dsp_total /= num_segments;
@@ -153,7 +159,8 @@ PipelinePlan PipelinePartitioner::partition(
   LCMM_SPAN("partition");
   const int steps = static_cast<int>(graph.num_layers());
   if (num_segments < 1 || num_segments > steps) {
-    throw std::invalid_argument("partition: bad num_segments");
+    throw resil::OptionError(resil::Code::kBadArgument, "core.pipeline",
+                             "partition: bad num_segments");
   }
   const hw::FpgaDevice slice = device_slice(num_segments);
   LcmmCompiler compiler(slice, precision_, options_);
@@ -178,7 +185,8 @@ PipelinePlan PipelinePartitioner::partition(
   LCMM_COUNT("dp_cells",
              static_cast<std::int64_t>(num_segments) * n * n);
   if (num_segments > n) {
-    throw std::invalid_argument("partition: only " + std::to_string(n) +
+    throw resil::OptionError(resil::Code::kInfeasiblePartition, "core.pipeline",
+        "partition: only " + std::to_string(n) +
                                 " legal segments available");
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/scope.hpp"
+#include "resil/checked.hpp"
 
 namespace lcmm::core {
 
@@ -51,7 +52,8 @@ PrefetchResult build_prefetch_schedule(const hw::PerfModel& model,
     if (!layer.is_conv()) continue;
     const hw::LayerTiming& t = model.timing(layer.id);
     if (!options.include_compute_bound && !t.memory_bound()) continue;
-    const std::int64_t bytes = graph.layer_weight_elems(layer.id) * bpe;
+    const std::int64_t bytes = resil::checked_mul(
+        graph.layer_weight_elems(layer.id), bpe, "weight bytes");
     if (bytes <= 0) continue;
 
     PrefetchEdge edge;
@@ -93,7 +95,8 @@ std::vector<TensorEntity> build_weight_entities(const hw::PerfModel& model,
     TensorEntity e;
     e.key = {layer.id, TensorSource::kWeight};
     e.name = layer.name + ".wt";
-    e.bytes = graph.layer_weight_elems(layer.id) * bpe;
+    e.bytes = resil::checked_mul(graph.layer_weight_elems(layer.id), bpe,
+                                 "weight bytes");
     e.def_step = edge.start_step;
     e.last_use_step = graph.step_of(layer.id);
     e.stream_latency_s = model.timing(layer.id).wt_s;

@@ -4,12 +4,15 @@
 #include <limits>
 #include <stdexcept>
 
+#include "resil/checked.hpp"
+
 namespace lcmm::core {
 
 std::vector<VirtualBuffer> build_virtual_buffers(const InterferenceGraph& graph,
                                                  const ColoringResult& coloring) {
   if (coloring.color_of.size() != graph.size()) {
-    throw std::invalid_argument("build_virtual_buffers: coloring size mismatch");
+    throw resil::OptionError(resil::Code::kBadArgument, "pass.coloring",
+                             "build_virtual_buffers: coloring size mismatch");
   }
   std::vector<VirtualBuffer> buffers(static_cast<std::size_t>(coloring.num_colors));
   for (std::size_t c = 0; c < buffers.size(); ++c) {
@@ -20,7 +23,8 @@ std::vector<VirtualBuffer> build_virtual_buffers(const InterferenceGraph& graph,
   for (std::size_t e = 0; e < graph.size(); ++e) {
     const int c = coloring.color_of[e];
     if (c < 0 || c >= coloring.num_colors) {
-      throw std::invalid_argument("build_virtual_buffers: bad color");
+      throw resil::OptionError(resil::Code::kBadArgument, "pass.coloring",
+                               "build_virtual_buffers: bad color");
     }
     VirtualBuffer& buf = buffers[static_cast<std::size_t>(c)];
     const TensorEntity& entity = graph.entities()[e];
@@ -37,7 +41,9 @@ std::vector<VirtualBuffer> build_virtual_buffers(const InterferenceGraph& graph,
 
 std::int64_t total_buffer_bytes(const std::vector<VirtualBuffer>& buffers) {
   std::int64_t total = 0;
-  for (const VirtualBuffer& b : buffers) total += b.bytes;
+  for (const VirtualBuffer& b : buffers) {
+    total = resil::checked_add(total, b.bytes, "total_buffer_bytes");
+  }
   return total;
 }
 

@@ -3,31 +3,74 @@
 #include <exception>
 
 #include "par/parallel_for.hpp"
+#include "resil/fault.hpp"
+#include "util/logging.hpp"
 
 namespace lcmm::driver {
+
+namespace {
+
+/// One attempt at a job: compile (and simulate) every requested design,
+/// checking the deadline at each phase boundary.
+void run_job(const BatchJob& job, const resil::Deadline& deadline,
+             BatchOutcome& out) {
+  resil::fault::hit("driver.job");
+  const core::LcmmCompiler compiler(job.device, job.precision, job.options);
+  if (job.want_umm) {
+    deadline.check("driver.umm");
+    out.umm_plan = compiler.compile_umm(job.graph);
+    out.umm_sim = sim::simulate(job.graph, out.umm_plan);
+    out.umm_report = sim::make_report(job.graph, out.umm_plan, out.umm_sim);
+  }
+  if (job.want_lcmm) {
+    deadline.check("driver.lcmm");
+    out.lcmm_plan = compiler.compile(job.graph);
+    deadline.check("driver.simulate");
+    out.lcmm_sim = sim::refine_against_stalls(job.graph, out.lcmm_plan);
+    out.lcmm_report = sim::make_report(job.graph, out.lcmm_plan, out.lcmm_sim);
+  }
+}
+
+}  // namespace
 
 std::vector<BatchOutcome> compile_many(const std::vector<BatchJob>& jobs,
                                        int workers) {
   return par::parallel_map(jobs.size(), workers, [&](std::size_t i) {
     const BatchJob& job = jobs[i];
     BatchOutcome out;
-    try {
-      const core::LcmmCompiler compiler(job.device, job.precision, job.options);
-      if (job.want_umm) {
-        out.umm_plan = compiler.compile_umm(job.graph);
-        out.umm_sim = sim::simulate(job.graph, out.umm_plan);
-        out.umm_report = sim::make_report(job.graph, out.umm_plan, out.umm_sim);
+    out.label = job.label.empty() ? job.graph.name() : job.label;
+    // One fault budget for the whole job, spanning retries: a one-shot
+    // injected fault fails the first attempt and proves the retry works.
+    resil::fault::Scope fault_scope;
+    // The deadline also spans retries — a retry is not a budget refill.
+    const resil::Deadline deadline(job.timeout_s);
+    const int max_attempts = job.max_attempts > 0 ? job.max_attempts : 1;
+    for (int attempt = 1;; ++attempt) {
+      out.attempts = attempt;
+      try {
+        run_job(job, deadline, out);
+        out.error.clear();
+        out.error_info = {};
+        out.timed_out = false;
+        break;
+      } catch (const std::exception& e) {
+        const resil::ErrorInfo info = resil::describe(e);
+        out = BatchOutcome{};
+        out.label = job.label.empty() ? job.graph.name() : job.label;
+        out.attempts = attempt;
+        out.error = e.what();
+        if (out.error.empty()) out.error = "unknown error";
+        out.error_info = info;
+        out.timed_out = info.code == resil::Code::kJobTimeout;
+        if (!out.timed_out && attempt < max_attempts &&
+            resil::is_transient(info.code)) {
+          LCMM_WARN() << "batch job '" << out.label << "': transient "
+                      << resil::code_id(info.code) << ", attempt " << attempt
+                      << "/" << max_attempts << " retrying";
+          continue;
+        }
+        break;
       }
-      if (job.want_lcmm) {
-        out.lcmm_plan = compiler.compile(job.graph);
-        out.lcmm_sim = sim::refine_against_stalls(job.graph, out.lcmm_plan);
-        out.lcmm_report =
-            sim::make_report(job.graph, out.lcmm_plan, out.lcmm_sim);
-      }
-    } catch (const std::exception& e) {
-      out = BatchOutcome{};
-      out.error = e.what();
-      if (out.error.empty()) out.error = "unknown error";
     }
     return out;
   });

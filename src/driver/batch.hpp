@@ -3,17 +3,21 @@
 //
 // Each BatchJob owns its graph and options, so jobs share no mutable
 // state; compile_many() fans them out over lcmm::par and returns outcomes
-// in input order. A job that throws reports its message in
-// BatchOutcome::error instead of tearing down the whole sweep. When the
-// calling thread is collecting obs telemetry, per-job stats merge back in
-// job order — the collected registry is identical whatever the worker
-// count (see docs/parallelism.md).
+// in input order. A job that throws reports a structured error (code,
+// failing pass, job label) in BatchOutcome instead of tearing down the
+// whole sweep; transient failures (injected faults, io flakes) get a
+// bounded retry, and each job runs under a soft wall-clock deadline
+// checked at phase boundaries. When the calling thread is collecting obs
+// telemetry, per-job stats merge back in job order — the collected
+// registry is identical whatever the worker count (see
+// docs/parallelism.md).
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "core/lcmm.hpp"
+#include "resil/error.hpp"
 #include "sim/report.hpp"
 #include "sim/timeline.hpp"
 
@@ -29,6 +33,15 @@ struct BatchJob {
   /// lcmm_compile ships them.
   bool want_umm = true;
   bool want_lcmm = true;
+  /// Label echoed in BatchOutcome and error reports ("resnet50/int8");
+  /// defaults to the graph name when empty.
+  std::string label;
+  /// Soft per-job wall-clock budget in seconds (<= 0 = unlimited), checked
+  /// at phase boundaries — a running pass is never interrupted mid-flight.
+  double timeout_s = 0.0;
+  /// Attempts per job: transient failures (resil::is_transient) retry up
+  /// to this many times; deterministic failures fail on the first.
+  int max_attempts = 2;
 };
 
 struct BatchOutcome {
@@ -38,7 +51,11 @@ struct BatchOutcome {
   sim::SimResult lcmm_sim;
   sim::DesignReport umm_report;
   sim::DesignReport lcmm_report;
-  std::string error;  ///< Non-empty when the job threw; other fields empty.
+  std::string label;        ///< BatchJob::label (or the graph name).
+  std::string error;        ///< Non-empty when the job failed; plan fields empty.
+  resil::ErrorInfo error_info;  ///< Structured error (code, pass, entity).
+  int attempts = 0;         ///< Attempts consumed (>1 means a retry happened).
+  bool timed_out = false;   ///< Failed on the wall-clock deadline.
 
   bool ok() const { return error.empty(); }
   /// UMM/LCMM latency ratio (requires both designs).

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "resil/checked.hpp"
+
 namespace lcmm::graph {
 
 using ValueId = std::int32_t;
@@ -30,8 +32,12 @@ struct FeatureShape {
   int height = 0;
   int width = 0;
 
+  /// Element count, overflow-checked: dims come straight from the text
+  /// parser, and a wrapped product would masquerade as a tiny tensor.
   std::int64_t elems() const {
-    return static_cast<std::int64_t>(channels) * height * width;
+    return resil::checked_mul(
+        resil::checked_mul(channels, height, "FeatureShape::elems"), width,
+        "FeatureShape::elems");
   }
   bool operator==(const FeatureShape&) const = default;
   std::string to_string() const;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "par/parallel_for.hpp"
+#include "resil/error.hpp"
+#include "resil/fault.hpp"
 #include "util/logging.hpp"
 
 namespace lcmm::hw {
@@ -13,7 +15,8 @@ Dse::Dse(FpgaDevice device, Precision precision, DseOptions options)
   if (options_.dsp_budget_fraction <= 0 || options_.dsp_budget_fraction > 1 ||
       options_.tile_bram_fraction <= 0 || options_.tile_bram_fraction > 1 ||
       options_.jobs < 0) {
-    throw std::invalid_argument("Dse: bad options");
+    throw resil::OptionError(resil::Code::kBadOptions, "dse.options",
+                             "Dse: bad options");
   }
 }
 
@@ -87,6 +90,7 @@ std::vector<TileConfig> Dse::tile_candidates(
 
 DseResult Dse::explore(const graph::ComputationGraph& graph,
                        const Objective& objective) const {
+  resil::fault::hit("dse.explore");
   const double freq = device_.clock_mhz(precision_, options_.heavy_uram_use);
   // Flatten the menu first; the candidate's position in this vector is the
   // "menu index" the tie-break below refers to, and it equals the order
@@ -104,8 +108,9 @@ DseResult Dse::explore(const graph::ComputationGraph& graph,
     }
   }
   if (menu.empty()) {
-    throw std::runtime_error("Dse::explore: no feasible design for graph '" +
-                             graph.name() + "'");
+    throw resil::CompileError(
+        resil::Code::kNoFeasibleDesign, "dse.explore",
+        "no feasible design within the device budget", graph.name());
   }
 
   // Candidates are independent, so evaluate them on the worker pool; each

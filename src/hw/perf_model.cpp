@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include "resil/error.hpp"
 
 namespace lcmm::hw {
 
@@ -36,14 +37,17 @@ PerfModel::PerfModel(const graph::ComputationGraph& graph,
     : graph_(&graph), design_(std::move(design)),
       ddr_(design_.device, design_.ddr_options) {
   if (!design_.array.valid() || !design_.tile.valid() || design_.freq_mhz <= 0) {
-    throw std::invalid_argument("PerfModel: incomplete accelerator design");
+    throw resil::OptionError(resil::Code::kBadArgument, "hw.perf_model",
+                             "PerfModel: incomplete accelerator design");
   }
   if (design_.array.pixel_pack > 1 && design_.precision != Precision::kInt8) {
-    throw std::invalid_argument(
+    throw resil::OptionError(
+        resil::Code::kBadArgument, "hw.perf_model",
         "PerfModel: DSP pixel packing requires 8-bit precision");
   }
   if (design_.batch < 1) {
-    throw std::invalid_argument("PerfModel: batch must be >= 1");
+    throw resil::OptionError(resil::Code::kBadArgument, "hw.perf_model",
+                             "PerfModel: batch must be >= 1");
   }
   timings_.reserve(graph.num_layers());
   for (const graph::Layer& layer : graph.layers()) {
@@ -218,7 +222,10 @@ double PerfModel::total_nominal_ops() const {
 }
 
 double PerfModel::ops_per_sec(double latency_s) const {
-  if (latency_s <= 0.0) throw std::invalid_argument("ops_per_sec: latency <= 0");
+  if (latency_s <= 0.0) {
+    throw resil::OptionError(resil::Code::kBadArgument, "hw.perf_model",
+                             "ops_per_sec: latency <= 0");
+  }
   return total_nominal_ops() / latency_s;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include "resil/error.hpp"
 
 namespace lcmm::hw {
 
@@ -52,7 +53,8 @@ LayerTileGeometry layer_tile_geometry(const graph::ComputationGraph& graph,
                                       const SystolicArrayConfig& array,
                                       const TileConfig& tile) {
   if (!array.valid() || !tile.valid()) {
-    throw std::invalid_argument("layer_tile_geometry: invalid config");
+    throw resil::OptionError(resil::Code::kBadArgument, "hw.tiling",
+                             "layer_tile_geometry: invalid config");
   }
   const graph::Layer& layer = graph.layer(id);
   const graph::FeatureShape& in = graph.input_shape(id);

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <vector>
 
+#include "resil/fault.hpp"
+
 namespace lcmm::io {
 
 namespace {
@@ -54,9 +56,14 @@ graph::FeatureShape parse_shape(const std::string& s, int line) {
   if (a == std::string::npos || b == std::string::npos) {
     throw ParseError(line, "expected CxHxW shape, got '" + s + "'");
   }
-  return {parse_int(s.substr(0, a), line),
-          parse_int(s.substr(a + 1, b - a - 1), line),
-          parse_int(s.substr(b + 1), line)};
+  const graph::FeatureShape shape{parse_int(s.substr(0, a), line),
+                                  parse_int(s.substr(a + 1, b - a - 1), line),
+                                  parse_int(s.substr(b + 1), line)};
+  // Validate the element product eagerly: dims whose product wraps int64
+  // must die here as a ParseError, not masquerade as a tiny tensor deep in
+  // the allocator (elems() is overflow-checked via resil::checked_mul).
+  (void)shape.elems();
+  return shape;
 }
 
 /// key=value arguments plus bare flags.
@@ -122,6 +129,9 @@ class Parser {
         dispatch(*g, op, tokens, line);
       } catch (const ParseError&) {
         throw;
+      } catch (const resil::CompileError& e) {
+        // Preserve the typed code (e.g. kSizeOverflow from checked dims).
+        throw ParseError(line, e.code(), e.info().message);
       } catch (const std::exception& e) {
         throw ParseError(line, e.what());
       }
@@ -230,7 +240,17 @@ std::string pair_str(int a, int b) {
 }  // namespace
 
 graph::ComputationGraph parse_graph(std::string_view text) {
-  return Parser().run(text);
+  resil::fault::Scope fault_scope;
+  try {
+    resil::fault::hit("io.parse");
+    return Parser().run(text);
+  } catch (const ParseError&) {
+    throw;
+  } catch (const resil::CompileError& e) {
+    // Injected faults and overflow errors surface as ParseError too, so
+    // callers have a single failure type for malformed input.
+    throw ParseError(0, e.code(), e.info().message);
+  }
 }
 
 std::string serialize_graph(const graph::ComputationGraph& graph) {
@@ -309,7 +329,10 @@ std::string serialize_graph(const graph::ComputationGraph& graph) {
 
 graph::ComputationGraph load_graph_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  if (!in) {
+    throw resil::CompileError(resil::Code::kIoError, "io.file",
+                              "cannot open '" + path + "'");
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse_graph(buffer.str());
@@ -318,7 +341,10 @@ graph::ComputationGraph load_graph_file(const std::string& path) {
 void save_graph_file(const graph::ComputationGraph& graph,
                      const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  if (!out) {
+    throw resil::CompileError(resil::Code::kIoError, "io.file",
+                              "cannot open '" + path + "' for writing");
+  }
   out << serialize_graph(graph);
 }
 

@@ -25,14 +25,21 @@
 #include <string_view>
 
 #include "graph/graph.hpp"
+#include "resil/error.hpp"
 
 namespace lcmm::io {
 
-/// Error with 1-based line information.
-class ParseError : public std::runtime_error {
+/// Error with 1-based line information. Typed (LCMM-E701 by default) and a
+/// CompileError, so batch sweeps report parse failures with code + site
+/// like any other compile failure.
+class ParseError : public resil::CompileError {
  public:
   ParseError(int line, const std::string& message)
-      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+      : ParseError(line, resil::Code::kParseError, message) {}
+  ParseError(int line, resil::Code code, const std::string& message)
+      : resil::CompileError(
+            code, "io.parse",
+            (line > 0 ? "line " + std::to_string(line) + ": " : "") + message),
         line_(line) {}
   int line() const { return line_; }
 

@@ -21,6 +21,7 @@
 #include "models/models.hpp"  // IWYU pragma: export
 #include "obs/obs.hpp"        // IWYU pragma: export
 #include "par/par.hpp"        // IWYU pragma: export
+#include "resil/resil.hpp"    // IWYU pragma: export
 #include "sim/memory_trace.hpp"  // IWYU pragma: export
 #include "sim/report.hpp"        // IWYU pragma: export
 #include "sim/timeline.hpp"      // IWYU pragma: export

@@ -1,6 +1,7 @@
 #include "mem/ddr.hpp"
 
 #include <stdexcept>
+#include "resil/error.hpp"
 
 namespace lcmm::mem {
 
@@ -9,10 +10,11 @@ DdrModel::DdrModel(const hw::FpgaDevice& device, DdrModelOptions options)
       options_(options) {
   if (options_.streams <= 0 || options_.max_efficiency <= 0.0 ||
       options_.max_efficiency > 1.0 || options_.burst_overhead_bytes < 0.0) {
-    throw std::invalid_argument("DdrModel: bad options");
+    throw resil::OptionError(resil::Code::kBadOptions, "mem.ddr", "DdrModel: bad options");
   }
   if (total_peak_bytes_per_sec_ <= 0.0) {
-    throw std::invalid_argument("DdrModel: device has no DDR bandwidth");
+    throw resil::OptionError(resil::Code::kBadOptions, "mem.ddr",
+                             "DdrModel: device has no DDR bandwidth");
   }
 }
 

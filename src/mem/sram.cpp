@@ -1,13 +1,15 @@
 #include "mem/sram.hpp"
 
 #include <stdexcept>
+#include "resil/error.hpp"
 
 namespace lcmm::mem {
 
 SramPools::SramPools(int bram36_blocks, int uram_blocks)
     : bram_total_(bram36_blocks), uram_total_(uram_blocks) {
   if (bram36_blocks < 0 || uram_blocks < 0) {
-    throw std::invalid_argument("SramPools: negative block count");
+    throw resil::OptionError(resil::Code::kBadArgument, "mem.sram",
+                             "SramPools: negative block count");
   }
 }
 
@@ -16,7 +18,10 @@ std::int64_t SramPools::block_bytes(SramPool pool) {
 }
 
 int SramPools::blocks_needed(std::int64_t bytes, SramPool pool) {
-  if (bytes <= 0) throw std::invalid_argument("blocks_needed: bytes <= 0");
+  if (bytes <= 0) {
+    throw resil::OptionError(resil::Code::kBadArgument, "mem.sram",
+                             "blocks_needed: bytes <= 0");
+  }
   return static_cast<int>((bytes + block_bytes(pool) - 1) / block_bytes(pool));
 }
 

@@ -8,6 +8,7 @@
 
 #include "obs/stats.hpp"
 #include "par/thread_pool.hpp"
+#include "resil/fault.hpp"
 
 namespace lcmm::par {
 
@@ -28,11 +29,19 @@ void parallel_for(std::size_t n, int jobs,
   const std::size_t worker_budget = static_cast<std::size_t>(effective_jobs(jobs));
   const std::size_t workers = worker_budget < n ? worker_budget : n;
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Same injection point as the parallel path, so LCMM_FAULT=par.task
+      // behaves identically for --jobs 1 and --jobs N.
+      resil::fault::hit("par.task");
+      body(i);
+    }
     return;
   }
 
   obs::CompileStats* const parent = obs::current();
+  // Workers join the caller's fault budget the same way they adopt its
+  // stats sink: the per-operation hit counter rides into every task.
+  resil::fault::State* const fault_state = resil::fault::current_state();
   std::vector<TaskState> tasks(n);
   std::atomic<std::size_t> next{0};
 
@@ -48,7 +57,9 @@ void parallel_for(std::size_t n, int jobs,
         sink = task.stats.get();
       }
       obs::CompileStats* const previous = obs::set_current(sink);
+      const resil::fault::StateGuard fault_guard(fault_state);
       try {
+        resil::fault::hit("par.task");
         body(i);
       } catch (...) {
         task.error = std::current_exception();

@@ -1,0 +1,139 @@
+#include "resil/fault.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "resil/error.hpp"
+#include "util/logging.hpp"
+
+namespace lcmm::resil::fault {
+
+namespace {
+
+constexpr const char* kSites[] = {
+    "io.parse",       // text_format parse_graph entry
+    "dse.explore",    // Dse::explore, before the menu walk
+    "pass.liveness",  // feature-entity construction (§3.1 liveness)
+    "pass.coloring",  // interference coloring (§3.1)
+    "pass.prefetch",  // weight prefetch schedule (§3.2)
+    "pass.dnnk",      // knapsack allocation (§3.3)
+    "pass.splitting", // buffer splitting (§3.4)
+    "pass.place",     // physical BRAM/URAM placement
+    "par.task",       // every lcmm::par task wrapper
+    "driver.job",     // every driver::compile_many job
+};
+
+// The armed config is read on every hit() from arbitrary threads while
+// tests arm/disarm between operations; configs are immutable once
+// published and intentionally leaked on replacement (bounded by the
+// number of arm() calls, i.e. a handful per test process).
+std::atomic<const Config*> g_armed{nullptr};
+
+thread_local State* tl_state = nullptr;
+
+}  // namespace
+
+std::span<const char* const> sites() { return kSites; }
+
+bool is_site(std::string_view name) {
+  for (const char* site : kSites) {
+    if (name == site) return true;
+  }
+  return false;
+}
+
+void arm(Config config) {
+  if (!is_site(config.site)) {
+    throw OptionError(Code::kBadArgument, "fault.arm",
+                      "unknown fault site '" + config.site + "'");
+  }
+  if (config.nth < 1) config.nth = 1;
+  g_armed.store(new Config(std::move(config)), std::memory_order_release);
+}
+
+void disarm() { g_armed.store(nullptr, std::memory_order_release); }
+
+std::optional<Config> armed() {
+  const Config* config = g_armed.load(std::memory_order_acquire);
+  if (config == nullptr) return std::nullopt;
+  return *config;
+}
+
+void arm_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("LCMM_FAULT");
+    if (env == nullptr || *env == '\0') return;
+    Config config;
+    std::string spec(env);
+    std::size_t colon = spec.find(':');
+    config.site = spec.substr(0, colon);
+    if (!is_site(config.site)) {
+      LCMM_WARN() << "LCMM_FAULT: unknown site '" << config.site
+                  << "'; fault injection disarmed";
+      return;
+    }
+    try {
+      if (colon != std::string::npos) {
+        std::string rest = spec.substr(colon + 1);
+        colon = rest.find(':');
+        config.nth = std::stoll(rest.substr(0, colon));
+        if (colon != std::string::npos) {
+          const std::string fires = rest.substr(colon + 1);
+          config.fires = fires == "*" ? -1 : std::stoll(fires);
+        }
+      }
+    } catch (const std::exception&) {
+      LCMM_WARN() << "LCMM_FAULT: malformed spec '" << spec
+                  << "'; fault injection disarmed";
+      return;
+    }
+    LCMM_INFO() << "LCMM_FAULT: arming site '" << config.site << "' nth="
+                << config.nth << " fires="
+                << (config.fires < 0 ? std::string("*")
+                                     : std::to_string(config.fires));
+    arm(std::move(config));
+  });
+}
+
+State* current_state() { return tl_state; }
+
+StateGuard::StateGuard(State* state) : previous_(tl_state) {
+  tl_state = state;
+}
+
+StateGuard::~StateGuard() { tl_state = previous_; }
+
+Scope::Scope() {
+  arm_from_env();
+  if (tl_state == nullptr) {
+    tl_state = &own_;
+    installed_ = true;
+  }
+}
+
+Scope::~Scope() {
+  if (installed_) tl_state = nullptr;
+}
+
+void hit(const char* site) {
+  const Config* config = g_armed.load(std::memory_order_acquire);
+  if (config == nullptr) return;
+  State* state = tl_state;
+  if (state == nullptr) return;
+  if (config->site != site) return;
+  const std::int64_t n =
+      state->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n < config->nth) return;
+  if (config->fires >= 0 && n >= config->nth + config->fires) return;
+  // Keep the message free of the hit index: with racing workers the index
+  // that fires can vary, and batch error strings must match across --jobs.
+  throw CompileError(Code::kFaultInjected, site,
+                     "deterministic fault injected");
+}
+
+ArmedGuard::ArmedGuard(Config config) { arm(std::move(config)); }
+
+ArmedGuard::~ArmedGuard() { disarm(); }
+
+}  // namespace lcmm::resil::fault

@@ -1,0 +1,107 @@
+// Deterministic fault injection (lcmm::resil::fault).
+//
+// A single armed Config names one site; fault::hit(site) at that site
+// throws CompileError(kFaultInjected) on a deterministic subset of hits.
+// Hit counting is scoped per top-level operation (one compile, one parse,
+// one batch job), not global: Scope installs a fresh thread-local counter
+// unless one is already active, and lcmm::par propagates the active counter
+// into pool tasks exactly like the obs sink. With the default one-shot
+// config (fires = 1) exactly one hit fires per operation no matter how the
+// scheduler interleaves workers — which is what makes batch outcomes
+// identical for --jobs 1 and --jobs 8.
+//
+// Arming: programmatically via arm()/ArmedGuard (tests), or from the
+// LCMM_FAULT environment variable (CI):
+//
+//   LCMM_FAULT=site            fire the 1st hit of `site`, once
+//   LCMM_FAULT=site:3          fire the 3rd hit, once
+//   LCMM_FAULT=site:1:2        fire hits 1 and 2
+//   LCMM_FAULT=site:1:*        sticky: fire every hit from the 1st on
+//
+// One-shot faults exercise one rung transition (the ladder recovers on the
+// next rung); sticky faults on a pass site force the walk all the way to
+// UMM. Sticky faults on sites every rung shares (dse.explore, pass.place,
+// par.task, driver.job) defeat the ladder entirely by design.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace lcmm::resil::fault {
+
+/// Registered injection sites (pass boundaries, DSE, the par task wrapper,
+/// the io parser, the batch driver).
+std::span<const char* const> sites();
+bool is_site(std::string_view name);
+
+struct Config {
+  std::string site;
+  std::int64_t nth = 1;    ///< First matching hit that fires (1-based).
+  std::int64_t fires = 1;  ///< Consecutive firing hits from nth; < 0 = sticky.
+};
+
+/// Arm `config` process-wide (throws OptionError on an unknown site).
+void arm(Config config);
+void disarm();
+std::optional<Config> armed();
+/// Parse LCMM_FAULT ("site[:nth[:fires]]", fires '*' = sticky). Malformed
+/// or unknown values log a warning and leave the registry disarmed.
+/// Idempotent per process; Scope calls it lazily so tools need no wiring.
+void arm_from_env();
+
+/// Opaque per-operation hit counter; shared by every thread helping with
+/// one top-level operation.
+struct State {
+  std::atomic<std::int64_t> hits{0};
+};
+
+/// The counter active on this thread, or nullptr outside any Scope.
+State* current_state();
+
+/// Installs an existing counter on this thread for the guard's lifetime —
+/// how lcmm::par workers join the calling operation's fault budget.
+class StateGuard {
+ public:
+  explicit StateGuard(State* state);
+  StateGuard(const StateGuard&) = delete;
+  StateGuard& operator=(const StateGuard&) = delete;
+  ~StateGuard();
+
+ private:
+  State* previous_;
+};
+
+/// Top-level operation scope: installs a fresh counter unless one is
+/// already active (nested scopes share the outer counter, so one compile
+/// has exactly one fault budget regardless of internal structure).
+class Scope {
+ public:
+  Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+  ~Scope();
+
+ private:
+  State own_;
+  bool installed_ = false;
+};
+
+/// Injection point. No-op unless a config is armed, a Scope is active and
+/// `site` matches; otherwise counts the hit and throws
+/// CompileError(kFaultInjected) when the count lands in the firing window.
+void hit(const char* site);
+
+/// RAII arm/disarm for tests.
+class ArmedGuard {
+ public:
+  explicit ArmedGuard(Config config);
+  ArmedGuard(const ArmedGuard&) = delete;
+  ArmedGuard& operator=(const ArmedGuard&) = delete;
+  ~ArmedGuard();
+};
+
+}  // namespace lcmm::resil::fault

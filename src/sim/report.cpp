@@ -39,6 +39,8 @@ DesignReport make_report(const graph::ComputationGraph& graph,
   r.network = graph.name();
   r.precision = plan.design.precision;
   r.is_umm = plan.is_umm;
+  r.rung = resil::rung_name(plan.rung);
+  r.degrade_reason = plan.degrade_reason;
   r.latency_ms = sim.total_s * 1e3;
   r.tops = sim.total_s > 0
                ? 2.0 * static_cast<double>(graph.total_macs()) / sim.total_s / 1e12
@@ -63,6 +65,8 @@ util::Json report_to_json(const DesignReport& report) {
   j["network"] = report.network;
   j["precision"] = hw::to_string(report.precision);
   j["design"] = report.is_umm ? "UMM" : "LCMM";
+  j["rung"] = report.rung;
+  j["degrade_reason"] = report.degrade_reason;
   j["latency_ms"] = report.latency_ms;
   j["tops"] = report.tops;
   j["freq_mhz"] = report.freq_mhz;

@@ -20,6 +20,10 @@ struct DesignReport {
   std::string network;
   hw::Precision precision = hw::Precision::kInt8;
   bool is_umm = false;
+  /// Degradation-ladder rung the plan shipped on ("full-lcmm" unless the
+  /// resil ladder had to retreat) and why (empty when not degraded).
+  std::string rung;
+  std::string degrade_reason;
 
   double latency_ms = 0.0;
   double tops = 0.0;  // nominal ops / latency, in Tera-ops/s

@@ -2,9 +2,12 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "io/text_format.hpp"
 #include "models/models.hpp"
+#include "resil/resil.hpp"
 #include "test_graphs.hpp"
 
 namespace lcmm::io {
@@ -164,6 +167,83 @@ conv fc7 fc6 out=4096 kernel=1
 conv fc8 fc7 out=1000 kernel=1
 )";
   EXPECT_EQ(serialize_graph(models::build_alexnet()), kExpected);
+}
+
+TEST(RoundTrip, RandomGraphsSurviveSerializeParse) {
+  // Property test over the random-graph generator: any graph the library
+  // can build must survive a text round trip structurally unchanged.
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto original = models::random_graph(seed);
+    const std::string once = serialize_graph(original);
+    const auto reparsed = parse_graph(once);
+    EXPECT_EQ(serialize_graph(reparsed), once);
+    EXPECT_EQ(reparsed.name(), original.name());
+    ASSERT_EQ(reparsed.num_layers(), original.num_layers());
+    EXPECT_EQ(reparsed.total_macs(), original.total_macs());
+    EXPECT_EQ(reparsed.total_weight_elems(), original.total_weight_elems());
+    for (const auto& l : original.layers()) {
+      EXPECT_EQ(reparsed.layer(l.id).name, l.name);
+      EXPECT_EQ(reparsed.own_output_shape(l.id), original.own_output_shape(l.id));
+    }
+  }
+}
+
+TEST(Malformed, CorpusAlwaysRaisesParseErrorNeverCrashes) {
+  // Adversarial inputs must surface as typed ParseErrors — never a crash,
+  // never a foreign exception type, and overflowing dimension products must
+  // not wrap into a plausible-looking graph (resil::checked_mul).
+  const std::vector<std::pair<const char*, const char*>> corpus = {
+      {"empty input", ""},
+      {"comments only", "# nothing\n# here\n"},
+      {"header only twice", "graph a\ngraph b\n"},
+      {"missing header", "input a 3x8x8\n"},
+      {"truncated shape", "graph g\ninput a 3x\n"},
+      {"non-numeric dim", "graph g\ninput a 3x8xqq\n"},
+      {"int32-overflow dim", "graph g\ninput a 99999999999999999999x1x1\n"},
+      {"int64-overflow product",
+       "graph g\ninput a 2000000000x2000000000x2000000000\n"
+       "conv c a out=8 kernel=1\n"},
+      {"unknown op", "graph g\ninput a 3x8x8\nwarp w a out=8\n"},
+      {"unknown value ref", "graph g\nconv c nowhere out=8 kernel=1\n"},
+      {"duplicate layer name", "graph g\ninput a 3x8x8\ninput a 3x8x8\n"},
+      {"missing conv attrs", "graph g\ninput a 3x8x8\nconv c a\n"},
+      {"binary junk", "\x01\x02\xff\xfe graph \x00"},
+  };
+  for (const auto& [label, text] : corpus) {
+    SCOPED_TRACE(label);
+    EXPECT_THROW(parse_graph(text), ParseError);
+  }
+}
+
+TEST(Malformed, OverflowingDimsCarryTheTypedCode) {
+  try {
+    parse_graph(
+        "graph g\ninput a 2000000000x2000000000x2000000000\n"
+        "conv c a out=8 kernel=1\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), resil::Code::kSizeOverflow);
+  }
+}
+
+TEST(Faults, ParserFaultSiteYieldsTypedParseError) {
+  // LCMM_FAULT=io.parse must surface as a ParseError like any other input
+  // failure — callers need exactly one exception type to handle.
+  const resil::fault::ArmedGuard guard({.site = "io.parse"});
+  try {
+    parse_graph(kTiny);
+    FAIL() << "expected the injected fault";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), resil::Code::kFaultInjected);
+  }
+}
+
+TEST(Faults, DisarmedParserIsUnaffected) {
+  {
+    const resil::fault::ArmedGuard guard({.site = "io.parse"});
+  }  // guard disarms on scope exit
+  EXPECT_NO_THROW(parse_graph(kTiny));
 }
 
 TEST(Files, SaveAndLoad) {

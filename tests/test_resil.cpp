@@ -1,0 +1,555 @@
+// Tests for lcmm::resil — the typed error taxonomy, overflow-checked size
+// arithmetic, the deterministic fault-injection registry, and the
+// degradation ladder in LcmmCompiler::compile. The FaultMatrix test at the
+// bottom is env-driven (LCMM_FAULT) and is what the CI fault-injection
+// matrix job runs per registered site.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/check.hpp"
+#include "core/lcmm.hpp"
+#include "driver/batch.hpp"
+#include "models/models.hpp"
+#include "resil/resil.hpp"
+#include "test_graphs.hpp"
+
+namespace lcmm::resil {
+namespace {
+
+using core::AllocationPlan;
+using core::LcmmCompiler;
+using core::LcmmOptions;
+
+// ---------------------------------------------------------------------------
+// Error taxonomy.
+// ---------------------------------------------------------------------------
+
+TEST(ResilError, StableCodeIds) {
+  EXPECT_EQ(code_id(Code::kNoFeasibleDesign), "LCMM-E611");
+  EXPECT_EQ(code_id(Code::kTileBuffersDontFit), "LCMM-E612");
+  EXPECT_EQ(code_id(Code::kSizeOverflow), "LCMM-E614");
+  EXPECT_EQ(code_id(Code::kBadOptions), "LCMM-E651");
+  EXPECT_EQ(code_id(Code::kParseError), "LCMM-E701");
+  EXPECT_EQ(code_id(Code::kFaultInjected), "LCMM-E801");
+  EXPECT_EQ(code_id(Code::kInternal), "LCMM-E899");
+}
+
+TEST(ResilError, CodeTableIsSortedUniqueAndNamed) {
+  const std::vector<Code>& codes = all_codes();
+  ASSERT_FALSE(codes.empty());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(static_cast<int>(codes[i - 1]), static_cast<int>(codes[i]));
+    }
+    EXPECT_STRNE(code_name(codes[i]), "");
+    EXPECT_STRNE(code_summary(codes[i]), "");
+  }
+}
+
+TEST(ResilError, CompileErrorCarriesTypedPayload) {
+  const CompileError e(Code::kTileBuffersDontFit, "pass.place",
+                       "tile buffers do not fit on the device", "resnet50");
+  EXPECT_EQ(e.code(), Code::kTileBuffersDontFit);
+  EXPECT_EQ(e.pass(), "pass.place");
+  EXPECT_EQ(e.entity(), "resnet50");
+  const std::string what = e.what();
+  EXPECT_EQ(what,
+            "[LCMM-E612] pass.place: tile buffers do not fit on the device "
+            "(entity 'resnet50')");
+  // The ladder catches it as a runtime failure; batch code recovers the
+  // payload from a plain std::exception reference.
+  const std::exception& base = e;
+  const ErrorInfo info = describe(base);
+  EXPECT_EQ(info.code, Code::kTileBuffersDontFit);
+  EXPECT_EQ(info.pass, "pass.place");
+}
+
+TEST(ResilError, OptionErrorIsInvalidArgument) {
+  // Contract: the seed code threw std::invalid_argument for bad options;
+  // OptionError must keep those call sites and tests working.
+  try {
+    throw OptionError(Code::kBadOptions, "core.options", "Lcmm: bad options");
+  } catch (const std::invalid_argument& e) {
+    const ErrorInfo info = describe(e);
+    EXPECT_EQ(info.code, Code::kBadOptions);
+    EXPECT_EQ(info.pass, "core.options");
+  }
+}
+
+TEST(ResilError, DescribeWrapsForeignExceptionsAsInternal) {
+  const std::runtime_error foreign("unexpected");
+  const ErrorInfo info = describe(foreign);
+  EXPECT_EQ(info.code, Code::kInternal);
+  EXPECT_EQ(info.message, "unexpected");
+}
+
+TEST(ResilError, TransientClassification) {
+  EXPECT_TRUE(is_transient(Code::kFaultInjected));
+  EXPECT_TRUE(is_transient(Code::kIoError));
+  EXPECT_FALSE(is_transient(Code::kNoFeasibleDesign));
+  EXPECT_FALSE(is_transient(Code::kTileBuffersDontFit));
+  EXPECT_FALSE(is_transient(Code::kJobTimeout));
+  EXPECT_FALSE(is_transient(Code::kBadOptions));
+}
+
+TEST(ResilError, RungNamesAreStable) {
+  EXPECT_STREQ(rung_name(Rung::kFullLcmm), "full-lcmm");
+  EXPECT_STREQ(rung_name(Rung::kShrunkDnnk), "shrunk-dnnk");
+  EXPECT_STREQ(rung_name(Rung::kNoPrefetch), "no-prefetch");
+  EXPECT_STREQ(rung_name(Rung::kNoFeatureReuse), "no-feature-reuse");
+  EXPECT_STREQ(rung_name(Rung::kUmm), "umm");
+}
+
+// ---------------------------------------------------------------------------
+// Overflow-checked size arithmetic.
+// ---------------------------------------------------------------------------
+
+TEST(ResilChecked, MulAndAddPassThroughInRange) {
+  EXPECT_EQ(checked_mul(1 << 20, 1 << 20, "t"), std::int64_t{1} << 40);
+  EXPECT_EQ(checked_add(std::numeric_limits<std::int64_t>::max() - 1, 1, "t"),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(ResilChecked, OverflowRaisesTypedError) {
+  constexpr std::int64_t kBig = std::numeric_limits<std::int64_t>::max() / 2;
+  try {
+    checked_mul(kBig, 3, "test product");
+    FAIL() << "expected kSizeOverflow";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.code(), Code::kSizeOverflow);
+    EXPECT_NE(std::string(e.what()).find("test product"), std::string::npos);
+  }
+  EXPECT_THROW(
+      checked_add(std::numeric_limits<std::int64_t>::max(), 1, "test sum"),
+      CompileError);
+}
+
+TEST(ResilChecked, AdversarialShapeElemsOverflowIsTyped) {
+  // Dims a malicious .lcmm file can request: the product wraps int64.
+  const graph::FeatureShape huge{2000000000, 2000000000, 2000000000};
+  try {
+    (void)huge.elems();
+    FAIL() << "expected kSizeOverflow";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.code(), Code::kSizeOverflow);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline.
+// ---------------------------------------------------------------------------
+
+TEST(ResilDeadline, NonPositiveBudgetMeansUnlimited) {
+  const Deadline unlimited(0.0);
+  EXPECT_FALSE(unlimited.expired());
+  EXPECT_NO_THROW(unlimited.check("any-phase"));
+}
+
+TEST(ResilDeadline, ExpiryRaisesJobTimeoutNamingThePhase) {
+  const Deadline tight(1e-6);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(tight.expired());
+  try {
+    tight.check("driver.lcmm");
+    FAIL() << "expected kJobTimeout";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.code(), Code::kJobTimeout);
+    EXPECT_EQ(e.pass(), "driver.lcmm");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection registry.
+// ---------------------------------------------------------------------------
+
+TEST(ResilFault, RegistryListsTheDocumentedSites) {
+  const auto sites = fault::sites();
+  EXPECT_EQ(sites.size(), 10u);
+  for (const char* site : {"io.parse", "dse.explore", "pass.liveness",
+                           "pass.coloring", "pass.prefetch", "pass.dnnk",
+                           "pass.splitting", "pass.place", "par.task",
+                           "driver.job"}) {
+    EXPECT_TRUE(fault::is_site(site)) << site;
+  }
+  EXPECT_FALSE(fault::is_site("pass.unknown"));
+}
+
+TEST(ResilFault, ArmingAnUnknownSiteIsAContractViolation) {
+  EXPECT_THROW(fault::arm({.site = "pass.unknown"}), OptionError);
+}
+
+TEST(ResilFault, ArmedGuardDisarmsOnScopeExit) {
+  {
+    const fault::ArmedGuard guard({.site = "pass.dnnk"});
+    ASSERT_TRUE(fault::armed().has_value());
+    EXPECT_EQ(fault::armed()->site, "pass.dnnk");
+  }
+  EXPECT_FALSE(fault::armed().has_value());
+}
+
+TEST(ResilFault, HitIsANoOpWithoutAnActiveScope) {
+  const fault::ArmedGuard guard({.site = "pass.dnnk"});
+  // No fault::Scope on this thread: armed faults stay dormant, so library
+  // code outside a top-level operation never throws.
+  EXPECT_NO_THROW(fault::hit("pass.dnnk"));
+}
+
+TEST(ResilFault, OneShotFiresExactlyOncePerScope) {
+  const fault::ArmedGuard guard({.site = "pass.dnnk", .nth = 1, .fires = 1});
+  const fault::Scope scope;
+  EXPECT_NO_THROW(fault::hit("pass.place"));  // wrong site
+  try {
+    fault::hit("pass.dnnk");
+    FAIL() << "expected the injected fault";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.code(), Code::kFaultInjected);
+    EXPECT_EQ(e.pass(), "pass.dnnk");
+  }
+  EXPECT_NO_THROW(fault::hit("pass.dnnk"));  // budget consumed
+}
+
+TEST(ResilFault, NthSkipsEarlierHitsAndStickyNeverStops) {
+  {
+    const fault::ArmedGuard guard({.site = "par.task", .nth = 3, .fires = 1});
+    const fault::Scope scope;
+    EXPECT_NO_THROW(fault::hit("par.task"));
+    EXPECT_NO_THROW(fault::hit("par.task"));
+    EXPECT_THROW(fault::hit("par.task"), CompileError);
+    EXPECT_NO_THROW(fault::hit("par.task"));
+  }
+  {
+    const fault::ArmedGuard guard({.site = "par.task", .nth = 2, .fires = -1});
+    const fault::Scope scope;
+    EXPECT_NO_THROW(fault::hit("par.task"));
+    EXPECT_THROW(fault::hit("par.task"), CompileError);
+    EXPECT_THROW(fault::hit("par.task"), CompileError);
+  }
+}
+
+TEST(ResilFault, EachTopLevelScopeGetsAFreshBudget) {
+  const fault::ArmedGuard guard({.site = "pass.dnnk"});
+  for (int round = 0; round < 2; ++round) {
+    const fault::Scope scope;
+    EXPECT_THROW(fault::hit("pass.dnnk"), CompileError) << round;
+    EXPECT_NO_THROW(fault::hit("pass.dnnk")) << round;
+  }
+}
+
+TEST(ResilFault, NestedScopesShareTheOuterBudget) {
+  // compile() opens a Scope; compile_umm inside it opens another. The inner
+  // one must not reset the budget, or a one-shot fault could fire twice in
+  // one operation (and differently across worker counts).
+  const fault::ArmedGuard guard({.site = "pass.dnnk"});
+  const fault::Scope outer;
+  EXPECT_THROW(fault::hit("pass.dnnk"), CompileError);
+  {
+    const fault::Scope inner;
+    EXPECT_NO_THROW(fault::hit("pass.dnnk"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degradation ladder.
+// ---------------------------------------------------------------------------
+
+/// Degraded rungs recompile with restricted options; the checker must
+/// re-derive budgets from what the plan was actually compiled with.
+void expect_check_clean(const graph::ComputationGraph& g,
+                        const AllocationPlan& plan, const LcmmOptions& base) {
+  const LcmmOptions effective =
+      plan.rung == Rung::kUmm ? base : core::degrade_options(base, plan.rung);
+  const check::CheckReport report =
+      check::run_checks(g, plan, check::CheckOptions::from(effective));
+  EXPECT_FALSE(report.fails(false))
+      << "rung " << rung_name(plan.rung) << ": " << report.num_errors()
+      << " checker errors";
+}
+
+TEST(ResilLadder, DegradeOptionsAreCumulative) {
+  const LcmmOptions base;
+  const LcmmOptions r1 = core::degrade_options(base, Rung::kShrunkDnnk);
+  EXPECT_DOUBLE_EQ(r1.dse.tile_bram_fraction, base.dse.tile_bram_fraction * 0.5);
+  EXPECT_DOUBLE_EQ(r1.sram_capacity_fraction,
+                   base.sram_capacity_fraction * 0.5);
+  EXPECT_EQ(r1.alloc.granularity_bytes, base.alloc.granularity_bytes / 4);
+  EXPECT_TRUE(r1.weight_prefetch);
+  EXPECT_TRUE(r1.feature_reuse);
+
+  const LcmmOptions r2 = core::degrade_options(base, Rung::kNoPrefetch);
+  EXPECT_FALSE(r2.weight_prefetch);
+  EXPECT_TRUE(r2.feature_reuse);
+  EXPECT_DOUBLE_EQ(r2.sram_capacity_fraction, r1.sram_capacity_fraction);
+
+  const LcmmOptions r3 = core::degrade_options(base, Rung::kNoFeatureReuse);
+  EXPECT_FALSE(r3.weight_prefetch);
+  EXPECT_FALSE(r3.feature_reuse);
+  EXPECT_FALSE(r3.buffer_splitting);
+}
+
+TEST(ResilLadder, OneShotFaultAtEveryCompileSiteDegradesOneRung) {
+  // A single injected failure anywhere on the compile path must cost
+  // exactly one rung: the fault fires on full-lcmm, the budget is spent,
+  // and shrunk-dnnk completes with a check-clean plan.
+  const auto g = lcmm::testing::chain3();
+  const LcmmOptions base;
+  for (const char* site : {"dse.explore", "pass.liveness", "pass.coloring",
+                           "pass.prefetch", "pass.dnnk", "pass.splitting",
+                           "pass.place", "par.task"}) {
+    const fault::ArmedGuard guard({.site = site});
+    const LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16,
+                                base);
+    const AllocationPlan plan = compiler.compile(g);
+    EXPECT_EQ(plan.rung, Rung::kShrunkDnnk) << site;
+    EXPECT_EQ(plan.degrade_reason, std::string("LCMM-E801@") + site) << site;
+    expect_check_clean(g, plan, base);
+  }
+}
+
+TEST(ResilLadder, SitesOffTheCompilePathLeaveThePipelineAlone) {
+  const auto g = lcmm::testing::chain3();
+  for (const char* site : {"io.parse", "driver.job"}) {
+    const fault::ArmedGuard guard({.site = site});
+    const LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16);
+    const AllocationPlan plan = compiler.compile(g);
+    EXPECT_EQ(plan.rung, Rung::kFullLcmm) << site;
+    EXPECT_TRUE(plan.degrade_reason.empty()) << site;
+  }
+}
+
+TEST(ResilLadder, StickyGatedFaultsLandOnTheRungThatDisablesThem) {
+  // A persistent failure in a gated pass degrades until the rung that
+  // turns the pass off: prefetch faults stop at no-prefetch, liveness
+  // faults at no-feature-reuse.
+  const auto g = lcmm::testing::chain3();
+  const LcmmOptions base;
+  {
+    const fault::ArmedGuard guard(
+        {.site = "pass.prefetch", .nth = 1, .fires = -1});
+    const LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16,
+                                base);
+    const AllocationPlan plan = compiler.compile(g);
+    EXPECT_EQ(plan.rung, Rung::kNoPrefetch);
+    expect_check_clean(g, plan, base);
+  }
+  {
+    const fault::ArmedGuard guard(
+        {.site = "pass.liveness", .nth = 1, .fires = -1});
+    const LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16,
+                                base);
+    const AllocationPlan plan = compiler.compile(g);
+    EXPECT_EQ(plan.rung, Rung::kNoFeatureReuse);
+    expect_check_clean(g, plan, base);
+  }
+}
+
+TEST(ResilLadder, StickyUngatedFaultFallsToTheUmmFloor) {
+  // pass.dnnk is hit on every LCMM rung but not on the UMM baseline path:
+  // the ladder bottoms out shipping UMM, flagged via rung (not is_umm,
+  // which mirrors the no-benefit fallback convention).
+  const auto g = lcmm::testing::chain3();
+  const LcmmOptions base;
+  const fault::ArmedGuard guard({.site = "pass.dnnk", .nth = 1, .fires = -1});
+  const LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16,
+                              base);
+  const AllocationPlan plan = compiler.compile(g);
+  EXPECT_EQ(plan.rung, Rung::kUmm);
+  EXPECT_FALSE(plan.is_umm);
+  EXPECT_EQ(plan.degrade_reason, "LCMM-E801@pass.dnnk");
+  expect_check_clean(g, plan, base);
+}
+
+TEST(ResilLadder, StickyFaultOnASharedSiteDefeatsEvenTheFloor) {
+  // pass.place runs on the UMM path too; a persistent failure there leaves
+  // no rung to retreat to, and the error propagates typed.
+  const auto g = lcmm::testing::chain3();
+  const fault::ArmedGuard guard({.site = "pass.place", .nth = 1, .fires = -1});
+  const LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16);
+  try {
+    compiler.compile(g);
+    FAIL() << "expected the fault to propagate";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.code(), Code::kFaultInjected);
+    EXPECT_EQ(e.pass(), "pass.place");
+  }
+}
+
+TEST(ResilLadder, StrictModePropagatesInsteadOfDegrading) {
+  const auto g = lcmm::testing::chain3();
+  LcmmOptions opts;
+  opts.strict = true;
+  const fault::ArmedGuard guard({.site = "pass.dnnk"});
+  const LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16,
+                              opts);
+  try {
+    compiler.compile(g);
+    FAIL() << "expected --strict to fail hard";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.code(), Code::kFaultInjected);
+  }
+}
+
+TEST(ResilLadder, DegradedPlansStillBeatNothing) {
+  // The shrunk-dnnk plan is a real LCMM plan: entities allocated, physical
+  // placement done, latency estimated.
+  const auto g = lcmm::testing::diamond();
+  const fault::ArmedGuard guard({.site = "dse.explore"});
+  const LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt8);
+  const AllocationPlan plan = compiler.compile(g);
+  EXPECT_EQ(plan.rung, Rung::kShrunkDnnk);
+  EXPECT_GT(plan.est_latency_s, 0.0);
+  EXPECT_EQ(plan.state.num_layers(), static_cast<std::size_t>(g.num_layers()));
+}
+
+// ---------------------------------------------------------------------------
+// Batch driver hardening.
+// ---------------------------------------------------------------------------
+
+driver::BatchJob small_job(graph::ComputationGraph g,
+                           hw::Precision p = hw::Precision::kInt16) {
+  return {std::move(g), hw::FpgaDevice::vu9p(), p, LcmmOptions{}};
+}
+
+TEST(ResilBatch, TransientFaultIsRetriedOnceAndRecovers) {
+  const fault::ArmedGuard guard({.site = "driver.job", .nth = 1, .fires = 1});
+  std::vector<driver::BatchJob> jobs;
+  jobs.push_back(small_job(lcmm::testing::chain3()));
+  const auto outcomes = driver::compile_many(jobs, 1);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].ok()) << outcomes[0].error;
+  EXPECT_EQ(outcomes[0].attempts, 2);
+  EXPECT_EQ(outcomes[0].label, "chain3");
+}
+
+TEST(ResilBatch, RetriesAreBoundedByMaxAttempts) {
+  const fault::ArmedGuard guard({.site = "driver.job", .nth = 1, .fires = -1});
+  std::vector<driver::BatchJob> jobs;
+  jobs.push_back(small_job(lcmm::testing::chain3()));
+  jobs.back().max_attempts = 3;
+  const auto outcomes = driver::compile_many(jobs, 1);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].ok());
+  EXPECT_EQ(outcomes[0].attempts, 3);
+  EXPECT_EQ(outcomes[0].error_info.code, Code::kFaultInjected);
+  EXPECT_EQ(outcomes[0].error_info.pass, "driver.job");
+}
+
+TEST(ResilBatch, DeterministicFailuresDoNotRetry) {
+  hw::FpgaDevice no_dsps = hw::FpgaDevice::vu9p();
+  no_dsps.dsp_total = 0;
+  std::vector<driver::BatchJob> jobs;
+  jobs.push_back(small_job(lcmm::testing::chain3()));
+  jobs.back().device = no_dsps;
+  jobs.back().label = "chain3/no-dsps";
+  const auto outcomes = driver::compile_many(jobs, 1);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].ok());
+  EXPECT_EQ(outcomes[0].attempts, 1);  // kNoFeasibleDesign is not transient
+  EXPECT_EQ(outcomes[0].error_info.code, Code::kNoFeasibleDesign);
+  EXPECT_EQ(outcomes[0].label, "chain3/no-dsps");
+}
+
+TEST(ResilBatch, TimeoutIsTypedAndFinal) {
+  std::vector<driver::BatchJob> jobs;
+  jobs.push_back(small_job(lcmm::testing::chain3()));
+  jobs.back().timeout_s = 1e-9;
+  const auto outcomes = driver::compile_many(jobs, 1);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].ok());
+  EXPECT_TRUE(outcomes[0].timed_out);
+  EXPECT_EQ(outcomes[0].error_info.code, Code::kJobTimeout);
+  EXPECT_EQ(outcomes[0].attempts, 1);  // a retry is not a deadline refill
+}
+
+TEST(ResilBatch, SweepSurvivesAMidListFailure) {
+  hw::FpgaDevice no_dsps = hw::FpgaDevice::vu9p();
+  no_dsps.dsp_total = 0;
+  std::vector<driver::BatchJob> jobs;
+  jobs.push_back(small_job(lcmm::testing::chain3()));
+  jobs.push_back(small_job(lcmm::testing::diamond()));
+  jobs.back().device = no_dsps;
+  jobs.push_back(small_job(lcmm::testing::residual_block()));
+  const auto outcomes = driver::compile_many(jobs, 3);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok()) << outcomes[0].error;
+  EXPECT_FALSE(outcomes[1].ok());
+  EXPECT_TRUE(outcomes[2].ok()) << outcomes[2].error;
+}
+
+TEST(ResilBatch, FaultedOutcomesAreWorkerCountIndependent) {
+  // The acceptance bar: under an armed fault, --jobs 1 and --jobs 8 must
+  // produce byte-identical outcomes — same rung, same errors, same
+  // latencies. Sticky pass.prefetch degrades every LCMM plan to the
+  // no-prefetch rung deterministically.
+  const fault::ArmedGuard guard(
+      {.site = "pass.prefetch", .nth = 1, .fires = -1});
+  const auto sweep = [](int workers) {
+    std::vector<driver::BatchJob> jobs;
+    jobs.push_back(small_job(lcmm::testing::chain3()));
+    jobs.push_back(small_job(lcmm::testing::diamond()));
+    jobs.push_back(small_job(lcmm::testing::residual_block(),
+                             hw::Precision::kInt8));
+    jobs.push_back(small_job(lcmm::testing::chain3(), hw::Precision::kInt8));
+    return driver::compile_many(jobs, workers);
+  };
+  const auto serial = sweep(1);
+  const auto parallel = sweep(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].ok(), parallel[i].ok()) << i;
+    EXPECT_EQ(serial[i].error, parallel[i].error) << i;
+    EXPECT_EQ(serial[i].attempts, parallel[i].attempts) << i;
+    EXPECT_EQ(serial[i].lcmm_plan.rung, parallel[i].lcmm_plan.rung) << i;
+    EXPECT_EQ(serial[i].lcmm_plan.rung, Rung::kNoPrefetch) << i;
+    EXPECT_EQ(serial[i].umm_report.latency_ms, parallel[i].umm_report.latency_ms)
+        << i;
+    EXPECT_EQ(serial[i].lcmm_report.latency_ms,
+              parallel[i].lcmm_report.latency_ms)
+        << i;
+  }
+}
+
+TEST(ResilBatch, ReportsCarryTheRung) {
+  const fault::ArmedGuard guard({.site = "pass.dnnk", .nth = 1, .fires = -1});
+  std::vector<driver::BatchJob> jobs;
+  jobs.push_back(small_job(lcmm::testing::chain3()));
+  const auto outcomes = driver::compile_many(jobs, 1);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].ok()) << outcomes[0].error;
+  EXPECT_EQ(outcomes[0].lcmm_report.rung, "umm");
+  EXPECT_EQ(outcomes[0].lcmm_report.degrade_reason, "LCMM-E801@pass.dnnk");
+  EXPECT_EQ(outcomes[0].umm_report.rung, "umm");
+}
+
+// ---------------------------------------------------------------------------
+// Env-driven fault matrix (the CI job's entry point).
+// ---------------------------------------------------------------------------
+
+// Run with LCMM_FAULT=<site> (one-shot by default): every registered model
+// must still compile to a check-clean plan, degrading no further than UMM.
+// Skips when LCMM_FAULT is unset so plain ctest runs are unaffected.
+TEST(FaultMatrix, EveryModelCompilesCheckCleanUnderEnvFault) {
+  { const fault::Scope force_env_arm; }  // LCMM_FAULT is read lazily
+  const auto config = fault::armed();
+  if (!config.has_value()) {
+    GTEST_SKIP() << "LCMM_FAULT not set; nothing to inject";
+  }
+  const LcmmOptions base;
+  for (const std::string& name : models::model_names()) {
+    SCOPED_TRACE("model " + name + ", fault " + config->site);
+    const auto g = models::build_by_name(name);
+    const LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt16,
+                                base);
+    const AllocationPlan plan = compiler.compile(g);
+    EXPECT_LE(static_cast<int>(plan.rung), static_cast<int>(Rung::kUmm));
+    expect_check_clean(g, plan, base);
+  }
+}
+
+}  // namespace
+}  // namespace lcmm::resil

@@ -21,6 +21,7 @@
 #include "io/text_format.hpp"
 #include "models/models.hpp"
 #include "par/jobs.hpp"
+#include "resil/error.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -53,14 +54,16 @@ std::string usage() {
          "  --device vu9p|zu9eg|u250 FPGA device (default vu9p)\n"
          "  --allocator dnnk|greedy|exact\n"
          "  --capacity-fraction F    fraction of free SRAM handed to DNNK\n"
-         "  --strict                 warnings fail the check too\n"
+         "  --strict                 warnings fail the check too, and compilation\n"
+         "                           fails hard instead of degrading (resil)\n"
          "  --jobs N                 worker threads (default: LCMM_JOBS or the\n"
          "                           hardware concurrency); reports are\n"
          "                           identical for every N\n"
          "  --format text|json|sarif report format (default text)\n"
          "  --output PATH            write the report to PATH (default stdout)\n"
          "  --list-rules             print the diagnostic rule table and exit\n"
-         "\nExit codes: 0 clean, 1 diagnostics reported, 2 usage error.\n";
+         "\nExit codes: 0 clean, 1 diagnostics reported, 2 usage error,\n"
+         "3 partial compile failure (some jobs failed; survivors checked).\n";
 }
 
 bool consume_value(const std::vector<std::string>& args, std::size_t& i,
@@ -86,7 +89,10 @@ CheckCliOptions parse(const std::vector<std::string>& args) {
     if (arg == "--help" || arg == "-h") {
       opt.show_help = true;
     } else if (arg == "--strict") {
+      // Strict gates the diagnostics AND disables the resil degradation
+      // ladder, matching lcmm_compile --strict.
       opt.strict = true;
+      opt.lcmm.strict = true;
     } else if (arg == "--list-rules") {
       opt.list_rules = true;
     } else if (consume_value(args, i, "--model", value)) {
@@ -194,18 +200,29 @@ int run(const CheckCliOptions& opt) {
   std::vector<driver::BatchJob> jobs;
   if (opt.design != cli::DesignChoice::kLcmm) {
     jobs.push_back({graph, device, opt.precision, opt.lcmm,
-                    /*want_umm=*/true, /*want_lcmm=*/false});
+                    /*want_umm=*/true, /*want_lcmm=*/false,
+                    graph.name() + "/umm"});
   }
   if (opt.design != cli::DesignChoice::kUmm) {
     jobs.push_back({graph, device, opt.precision, opt.lcmm,
-                    /*want_umm=*/false, /*want_lcmm=*/true});
+                    /*want_umm=*/false, /*want_lcmm=*/true,
+                    graph.name() + "/lcmm"});
   }
   std::vector<driver::BatchOutcome> outcomes = driver::compile_many(jobs);
 
+  // Failed jobs are reported and skipped; the sweep's surviving plans are
+  // still checked, and the exit code distinguishes partial failure (3).
   std::vector<check::CheckedPlan> checked;
+  std::size_t failed_jobs = 0;
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     driver::BatchOutcome& outcome = outcomes[i];
-    if (!outcome.ok()) throw std::runtime_error(outcome.error);
+    if (!outcome.ok()) {
+      ++failed_jobs;
+      std::cerr << "error: job '" << outcome.label << "' failed ("
+                << resil::code_id(outcome.error_info.code) << "): "
+                << outcome.error << "\n";
+      continue;
+    }
     const bool umm = jobs[i].want_umm;
     check::CheckedPlan run;
     run.label = {graph.name(), umm ? "umm" : "lcmm",
@@ -253,7 +270,12 @@ int run(const CheckCliOptions& opt) {
     // Make the gate visible even when the report went to a file.
     std::cerr << "lcmm_check: diagnostics reported (see output)\n";
   }
-  return failed ? 1 : 0;
+  if (failed) return 1;
+  if (!jobs.empty() && failed_jobs == jobs.size()) {
+    std::cerr << "error: every job failed\n";
+    return 1;
+  }
+  return failed_jobs > 0 ? 3 : 0;
 }
 
 }  // namespace

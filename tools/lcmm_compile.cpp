@@ -18,6 +18,7 @@
 #include "models/models.hpp"
 #include "obs/obs.hpp"
 #include "par/jobs.hpp"
+#include "resil/fault.hpp"
 #include "sim/chrome_trace.hpp"
 #include "sim/memory_trace.hpp"
 #include "sim/report.hpp"
@@ -33,6 +34,9 @@ void print_text_report(const sim::DesignReport& r) {
   t.add_row({"network", r.network});
   t.add_row({"precision", hw::to_string(r.precision)});
   t.add_row({"design", r.is_umm ? "UMM" : "LCMM"});
+  if (!r.degrade_reason.empty()) {
+    t.add_row({"ladder rung", r.rung + " (" + r.degrade_reason + ")"});
+  }
   t.add_row({"latency", util::fmt_fixed(r.latency_ms, 3) + " ms"});
   t.add_row({"throughput", util::fmt_fixed(r.tops, 3) + " Tops"});
   t.add_row({"clock", util::fmt_fixed(r.freq_mhz, 0) + " MHz"});
@@ -105,11 +109,15 @@ int run(const cli::Options& opt) {
   std::vector<driver::BatchJob> jobs;
   if (opt.design != cli::DesignChoice::kLcmm) {
     jobs.push_back({graph, device, opt.precision, opt.lcmm,
-                    /*want_umm=*/true, /*want_lcmm=*/false});
+                    /*want_umm=*/true, /*want_lcmm=*/false,
+                    graph.name() + "/umm", opt.job_timeout_s,
+                    opt.job_attempts});
   }
   if (opt.design != cli::DesignChoice::kUmm) {
     jobs.push_back({graph, device, opt.precision, opt.lcmm,
-                    /*want_umm=*/false, /*want_lcmm=*/true});
+                    /*want_umm=*/false, /*want_lcmm=*/true,
+                    graph.name() + "/lcmm", opt.job_timeout_s,
+                    opt.job_attempts});
   }
   const std::vector<driver::BatchOutcome> outcomes = driver::compile_many(jobs);
 
@@ -117,10 +125,25 @@ int run(const cli::Options& opt) {
     core::AllocationPlan plan;
     sim::SimResult sim;
   };
+  // A failed job is reported and skipped, never fatal to the sweep: the
+  // tool prints what compiled and exits 3 (partial failure) at the end.
   std::vector<Compiled> runs;
+  std::size_t failed_jobs = 0;
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     driver::BatchOutcome outcome = outcomes[i];
-    if (!outcome.ok()) throw std::runtime_error(outcome.error);
+    if (!outcome.ok()) {
+      ++failed_jobs;
+      std::cerr << "error: job '" << outcome.label << "' failed ("
+                << resil::code_id(outcome.error_info.code);
+      if (!outcome.error_info.pass.empty()) {
+        std::cerr << " in " << outcome.error_info.pass;
+      }
+      if (outcome.attempts > 1) {
+        std::cerr << ", " << outcome.attempts << " attempts";
+      }
+      std::cerr << "): " << outcome.error << "\n";
+      continue;
+    }
     Compiled c;
     if (jobs[i].want_umm) {
       c.plan = std::move(outcome.umm_plan);
@@ -130,6 +153,10 @@ int run(const cli::Options& opt) {
       c.sim = std::move(outcome.lcmm_sim);
     }
     runs.push_back(std::move(c));
+  }
+  if (runs.empty()) {
+    std::cerr << "error: every job failed\n";
+    return 1;
   }
 
   if (opt.emit_roofline) {
@@ -157,7 +184,8 @@ int run(const cli::Options& opt) {
       }
       first = false;
     }
-    if (opt.format == cli::OutputFormat::kText && runs.size() == 2) {
+    if (opt.format == cli::OutputFormat::kText && failed_jobs == 0 &&
+        runs.size() == 2) {
       std::cout << "\nspeedup (UMM / LCMM): "
                 << util::fmt_fixed(runs[0].sim.total_s / runs[1].sim.total_s, 2)
                 << "x\n";
@@ -206,7 +234,7 @@ int run(const cli::Options& opt) {
     }
     if (failed) return 1;
   }
-  return 0;
+  return failed_jobs > 0 ? 3 : 0;
 }
 
 }  // namespace
@@ -217,6 +245,12 @@ int main(int argc, char** argv) {
     const cli::Options opt = cli::parse_cli(args);
     if (opt.show_help) {
       std::cout << cli::usage();
+      return 0;
+    }
+    if (opt.list_fault_sites) {
+      for (const char* site : resil::fault::sites()) {
+        std::cout << site << "\n";
+      }
       return 0;
     }
     return run(opt);
