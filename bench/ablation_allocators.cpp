@@ -6,8 +6,9 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "ablation_allocators");
   util::Table table({"net", "capacity (MB)", "buffers", "greedy gain (ms)",
                      "DNNK gain (ms)", "DNNK / greedy", "exact gain (ms)"});
   for (const auto& [label, model_name] : bench::kSuite) {
@@ -36,6 +37,16 @@ int main() {
         exact = util::fmt_fixed(
             core::exact_allocate(ig, buffers, tables, cap).gain_s * 1e3, 3);
       }
+      const bench::Dims dims{{"net", label},
+                             {"capacity_mb", util::fmt_fixed(cap_mb, 2)}};
+      harness.add("greedy_gain_ms", greedy.gain_s * 1e3, "ms",
+                  bench::Direction::kHigherIsBetter, dims);
+      harness.add("dnnk_gain_ms", dnnk.gain_s * 1e3, "ms",
+                  bench::Direction::kHigherIsBetter, dims);
+      if (greedy.gain_s > 0) {
+        harness.add("dnnk_over_greedy", dnnk.gain_s / greedy.gain_s, "ratio",
+                    bench::Direction::kHigherIsBetter, dims);
+      }
       table.add_row(
           {label, util::fmt_fixed(cap_mb, 0), std::to_string(buffers.size()),
            util::fmt_fixed(greedy.gain_s * 1e3, 3),
@@ -51,5 +62,5 @@ int main() {
             << table
             << "DNNK's pivot compensation accounts for same-node tensor "
                "interactions the greedy misses.\n";
-  return 0;
+  return harness.finish();
 }

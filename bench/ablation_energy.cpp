@@ -7,8 +7,9 @@
 #include "common.hpp"
 #include "sim/energy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "ablation_energy");
   util::Table table({"net", "design", "DRAM (MB/img)", "DRAM (mJ)",
                      "SRAM (mJ)", "compute (mJ)", "static (mJ)", "total (mJ)",
                      "Gops/J", "energy saving"});
@@ -22,6 +23,15 @@ int main() {
         estimate_energy(graph, r.lcmm_plan, r.lcmm_sim);
     for (const auto& [name, e] :
          {std::pair{"UMM", &umm}, std::pair{"LCMM", &lcmm}}) {
+      const bench::Dims dims{{"net", label},
+                             {"precision", "int16"},
+                             {"design", e == &umm ? "umm" : "lcmm"}};
+      harness.add("dram_bytes", e->dram_bytes, "bytes",
+                  bench::Direction::kLowerIsBetter, dims);
+      harness.add("total_mj", e->total_mj(), "mJ",
+                  bench::Direction::kLowerIsBetter, dims);
+      harness.add("gops_per_joule", e->gops_per_joule(ops), "Gops/J",
+                  bench::Direction::kHigherIsBetter, dims);
       table.add_row(
           {label, name, util::fmt_fixed(e->dram_bytes / (1 << 20), 1),
            util::fmt_fixed(e->dram_mj, 2), util::fmt_fixed(e->sram_mj, 2),
@@ -32,8 +42,11 @@ int main() {
                ? util::fmt_pct(1.0 - lcmm.total_mj() / umm.total_mj()) + "%"
                : ""});
     }
+    harness.add("energy_saving", 1.0 - lcmm.total_mj() / umm.total_mj(),
+                "frac", bench::Direction::kHigherIsBetter,
+                {{"net", label}, {"precision", "int16"}});
     table.add_separator();
   }
   std::cout << "Energy extension: per-image energy (16-bit)\n" << table;
-  return 0;
+  return harness.finish();
 }

@@ -8,8 +8,9 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "ablation_loop_orders");
   util::Table table({"net", "stationary buffer", "UMM (ms)", "orders used",
                      "LCMM (ms)", "speedup"});
   for (const auto& [label, model_name] : bench::kSuite) {
@@ -42,11 +43,21 @@ int main() {
                " / IS " + std::to_string(is),
            util::fmt_fixed(lsim.total_s * 1e3, 3),
            util::fmt_fixed(usim.total_s / lsim.total_s, 2) + "x"});
+      const bench::Dims dims{
+          {"net", label},
+          {"precision", "int16"},
+          {"stationary_mb", std::to_string(budget >> 20)}};
+      harness.add("umm_ms", usim.total_s * 1e3, "ms",
+                  bench::Direction::kLowerIsBetter, dims);
+      harness.add("lcmm_ms", lsim.total_s * 1e3, "ms",
+                  bench::Direction::kLowerIsBetter, dims);
+      harness.add("speedup", usim.total_s / lsim.total_s, "x",
+                  bench::Direction::kHigherIsBetter, dims);
     }
     table.add_separator();
   }
   std::cout << "Loop-order ablation (16-bit): per-layer stationary variants "
                "vs LCMM\n"
             << table;
-  return 0;
+  return harness.finish();
 }

@@ -8,8 +8,9 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "ablation_packing");
   util::Table table({"net", "packing", "UMM Tops", "LCMM Tops", "speedup",
                      "mem-bound layers", "steady img/s (LCMM)"});
   for (const auto& [label, model_name] : bench::kSuite) {
@@ -29,6 +30,17 @@ int main() {
                      std::to_string(roofline.num_memory_bound) + "/" +
                          std::to_string(roofline.points.size()),
                      util::fmt_fixed(1.0 / stream.steady_image_s, 1)});
+      const bench::Dims dims{{"net", label},
+                             {"precision", "int8"},
+                             {"packing", packing ? "2" : "1"}};
+      harness.add("lcmm_tops", r.lcmm.tops, "Tops",
+                  bench::Direction::kHigherIsBetter, dims);
+      harness.add("speedup", r.speedup(), "x",
+                  bench::Direction::kHigherIsBetter, dims);
+      harness.add("memory_bound_layers", roofline.num_memory_bound, "count",
+                  bench::Direction::kLowerIsBetter, dims);
+      harness.add("steady_images_per_s", 1.0 / stream.steady_image_s, "img/s",
+                  bench::Direction::kHigherIsBetter, dims);
     }
     table.add_separator();
   }
@@ -36,5 +48,5 @@ int main() {
             << table
             << "Packing doubles peak compute but not bandwidth: more layers "
                "go memory-bound and LCMM's advantage widens.\n";
-  return 0;
+  return harness.finish();
 }

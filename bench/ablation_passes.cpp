@@ -28,8 +28,9 @@ lcmm::core::LcmmOptions variant(const char* which) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "ablation_passes");
   static const char* kVariants[] = {"full",          "feature-only",
                                     "prefetch-only", "no-splitting",
                                     "no-promotion",  "single-dse",
@@ -48,11 +49,19 @@ int main() {
                      util::fmt_fixed(umm_ms / r.lcmm.latency_ms, 2),
                      util::fmt_pct(r.lcmm.uram_util),
                      util::fmt_fixed(r.lcmm.total_stall_ms, 3)});
+      const bench::Dims dims{
+          {"net", label}, {"precision", "int16"}, {"variant", v}};
+      harness.add("latency_ms", r.lcmm.latency_ms, "ms",
+                  bench::Direction::kLowerIsBetter, dims);
+      harness.add("speedup", umm_ms / r.lcmm.latency_ms, "x",
+                  bench::Direction::kHigherIsBetter, dims);
+      harness.add("stall_ms", r.lcmm.total_stall_ms, "ms",
+                  bench::Direction::kLowerIsBetter, dims);
     }
     table.add_row({label, "UMM baseline", util::fmt_fixed(umm_ms, 3), "", "1.00",
                    "0", "0"});
     table.add_separator();
   }
   std::cout << "Ablation B: per-pass contribution (16-bit)\n" << table;
-  return 0;
+  return harness.finish();
 }

@@ -1,12 +1,17 @@
 // Shared harness glue for the paper-reproduction benches: compiles the UMM
 // baseline and the LCMM plan for a (network, precision) pair, simulates
-// both, and returns the report rows the tables print.
+// both, and returns the report rows the tables print. Every bench also
+// links lcmm::bench (src/bench/bench.hpp): construct a Harness from argv,
+// register the table's numbers as metrics, and `return harness.finish()`
+// so `--json=<path>` emits the machine-readable run the CI bench gate
+// diffs against bench/baselines/ (docs/benchmarking.md).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "bench/bench.hpp"
 #include "lcmm.hpp"
 
 namespace lcmm::bench {
@@ -70,5 +75,35 @@ inline const std::pair<const char*, const char*> kSuite[] = {
     {"RN", "resnet152"}, {"GN", "googlenet"}, {"IN", "inception_v4"}};
 
 inline std::string precision_label(hw::Precision p) { return hw::to_string(p); }
+
+/// Registers the standard UMM-vs-LCMM metric set for one (net, precision)
+/// pair under `dims` — latency for both designs, the speedup, and the
+/// LCMM buffer footprint. All model-kind, so the CI gate compares them.
+inline void add_pair_metrics(BenchRun& run, const Dims& dims,
+                             const sim::DesignReport& umm,
+                             const sim::DesignReport& lcmm) {
+  auto with_design = [&dims](const char* design) {
+    Dims d = dims;
+    d["design"] = design;
+    return d;
+  };
+  run.add("latency_ms", umm.latency_ms, "ms", Direction::kLowerIsBetter,
+          with_design("umm"));
+  run.add("latency_ms", lcmm.latency_ms, "ms", Direction::kLowerIsBetter,
+          with_design("lcmm"));
+  run.add("speedup",
+          lcmm.latency_ms > 0 ? umm.latency_ms / lcmm.latency_ms : 0.0, "x",
+          Direction::kHigherIsBetter, dims);
+  run.add("tops", lcmm.tops, "Tops", Direction::kHigherIsBetter, dims);
+  run.add("tensor_buffers", lcmm.num_on_chip_buffers, "count",
+          Direction::kHigherIsBetter, dims);
+  run.add("tensor_buffer_bytes", static_cast<double>(lcmm.tensor_buffer_bytes),
+          "bytes", Direction::kHigherIsBetter, dims);
+}
+
+inline void add_pair_metrics(BenchRun& run, const Dims& dims,
+                             const PairResult& r) {
+  add_pair_metrics(run, dims, r.umm, r.lcmm);
+}
 
 }  // namespace lcmm::bench

@@ -6,8 +6,9 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "extension_batch");
   util::Table table({"net", "batch", "UMM ms/img", "UMM Tops", "LCMM ms/img",
                      "LCMM Tops", "speedup"});
   for (const auto& [label, model_name] : bench::kSuite) {
@@ -26,6 +27,12 @@ int main() {
                      util::fmt_fixed(lsim.total_s / batch * 1e3, 3),
                      util::fmt_fixed(ops / lsim.total_s / 1e12, 3),
                      util::fmt_fixed(usim.total_s / lsim.total_s, 2) + "x"});
+      const bench::Dims dims{
+          {"net", label}, {"precision", "int16"}, {"batch", std::to_string(batch)}};
+      harness.add("lcmm_ms_per_img", lsim.total_s / batch * 1e3, "ms",
+                  bench::Direction::kLowerIsBetter, dims);
+      harness.add("speedup", usim.total_s / lsim.total_s, "x",
+                  bench::Direction::kHigherIsBetter, dims);
     }
     table.add_separator();
   }
@@ -36,5 +43,5 @@ int main() {
                "LCMM keeps winning until batched activations outgrow the "
                "on-chip capacity, where its edge collapses back toward the "
                "baseline.\n";
-  return 0;
+  return harness.finish();
 }

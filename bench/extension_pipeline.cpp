@@ -8,8 +8,9 @@
 #include "common.hpp"
 #include "core/pipeline.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "extension_pipeline");
   util::Table table({"net", "stages", "II (ms)", "latency (ms)", "img/s",
                      "throughput vs K=1", "stage latencies (ms)"});
   for (const auto& [label, model_name] : bench::kSuite) {
@@ -32,10 +33,19 @@ int main() {
                      util::fmt_fixed(plan.throughput_images_per_s() /
                                          base_throughput, 2) + "x",
                      stages});
+      const bench::Dims dims{
+          {"net", label}, {"precision", "int16"}, {"stages", std::to_string(k)}};
+      harness.add("latency_ms", plan.latency_s * 1e3, "ms",
+                  bench::Direction::kLowerIsBetter, dims);
+      harness.add("images_per_s", plan.throughput_images_per_s(), "img/s",
+                  bench::Direction::kHigherIsBetter, dims);
+      harness.add("throughput_scale",
+                  plan.throughput_images_per_s() / base_throughput, "x",
+                  bench::Direction::kHigherIsBetter, dims);
     }
     table.add_separator();
   }
   std::cout << "Pipeline extension: LCMM x multi-accelerator stages (16-bit)\n"
             << table;
-  return 0;
+  return harness.finish();
 }

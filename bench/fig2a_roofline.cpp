@@ -8,8 +8,9 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "fig2a_roofline");
   const auto graph = models::build_inception_v4();
   core::LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt8);
   const core::AllocationPlan umm = compiler.compile_umm(graph);
@@ -64,6 +65,17 @@ int main() {
               << util::fmt_fixed(q(0.5), 1) << " / "
               << util::fmt_fixed(q(0.75), 1) << " GB/s (max "
               << util::fmt_fixed(needs.back(), 1) << ")\n";
+    harness.add("median_required_gbps", q(0.5), "GB/s",
+                bench::Direction::kLowerIsBetter);
   }
-  return 0;
+  const bench::Dims dims{{"net", "IN"}, {"precision", "int8"}};
+  harness.add("memory_bound_layers", summary.num_memory_bound, "count",
+              bench::Direction::kLowerIsBetter, dims);
+  harness.add("conv_layers", total, "count",
+              bench::Direction::kHigherIsBetter, dims);
+  harness.add("layers_above_70gbps", summary.num_above_threshold, "count",
+              bench::Direction::kLowerIsBetter, dims);
+  harness.add("peak_tops", summary.peak_ops_per_sec / 1e12, "Tops",
+              bench::Direction::kHigherIsBetter, dims);
+  return harness.finish();
 }

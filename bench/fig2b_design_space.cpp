@@ -10,8 +10,9 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "fig2b_design_space");
   const auto graph = models::build_inception_v4();
   core::LcmmCompiler compiler(hw::FpgaDevice::vu9p(), hw::Precision::kInt8);
   const core::AllocationPlan umm = compiler.compile_umm(graph);
@@ -133,5 +134,16 @@ int main() {
   }
   std::cout << "cheapest point within 1% of best: "
             << util::fmt_fixed(knee_mem, 1) << " MB\n";
-  return 0;
+  const bench::Dims dims{{"net", "IN"}, {"precision", "int8"}};
+  harness.add("design_points", static_cast<double>(points.size()), "count",
+              bench::Direction::kHigherIsBetter, dims);
+  harness.add("best_tops", best.tops, "Tops",
+              bench::Direction::kHigherIsBetter, dims);
+  harness.add("best_mem_mb", best.mem_mb, "MB",
+              bench::Direction::kLowerIsBetter, dims);
+  harness.add("knee_mem_mb", knee_mem, "MB", bench::Direction::kLowerIsBetter,
+              dims);
+  harness.add("near_limit_suboptimal", near_limit_suboptimal, "count",
+              bench::Direction::kHigherIsBetter, dims);
+  return harness.finish();
 }

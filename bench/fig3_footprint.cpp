@@ -6,8 +6,9 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "fig3_footprint");
   const auto graph = models::build_inception_c1_snippet();
   core::LcmmOptions options;
   options.liveness.include_compute_bound = true;  // the snippet is small
@@ -46,5 +47,11 @@ int main() {
             << " ms (UMM) -> " << util::fmt_fixed(r.lcmm.latency_ms, 3)
             << " ms (LCMM), speedup " << util::fmt_fixed(r.speedup(), 2)
             << "x\n";
-  return 0;
+  const bench::Dims dims{{"net", "inception_c1"}, {"precision", "int16"}};
+  bench::add_pair_metrics(harness.run(), dims, r);
+  harness.add("tensors_on_chip", on, "count",
+              bench::Direction::kHigherIsBetter, dims);
+  harness.add("virtual_buffers", static_cast<double>(r.lcmm_plan.buffers.size()),
+              "count", bench::Direction::kLowerIsBetter, dims);
+  return harness.finish();
 }

@@ -29,8 +29,9 @@ std::map<std::string, double> per_stage_tops(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "fig8_googlenet_breakdown");
   const auto graph = models::build_googlenet();
 
   core::LcmmOptions feature_only;
@@ -69,5 +70,17 @@ int main() {
             << util::fmt_fixed(wp.lcmm.latency_ms, 3) << " ms | full "
             << util::fmt_fixed(base.lcmm.latency_ms, 3) << " ms ("
             << util::fmt_fixed(base.speedup(), 2) << "x)\n";
-  return 0;
+  auto add_variant = [&](const char* variant, double latency_ms) {
+    harness.add("latency_ms", latency_ms, "ms",
+                bench::Direction::kLowerIsBetter,
+                {{"net", "GN"}, {"precision", "int16"}, {"variant", variant}});
+  };
+  add_variant("umm", base.umm.latency_ms);
+  add_variant("feature-only", fr.lcmm.latency_ms);
+  add_variant("prefetch-only", wp.lcmm.latency_ms);
+  add_variant("full", base.lcmm.latency_ms);
+  harness.add("speedup", base.speedup(), "x",
+              bench::Direction::kHigherIsBetter,
+              {{"net", "GN"}, {"precision", "int16"}});
+  return harness.finish();
 }

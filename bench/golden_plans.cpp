@@ -1,0 +1,131 @@
+// Golden-plan snapshots: compiles a fixed set of small graphs (registry
+// models plus the checked-in example graph files) and records the plans'
+// STRUCTURAL facts — buffer counts, SRAM blocks, residency, the Eq. 1
+// latency, and the allocation gain recomputed independently through
+// lcmm::check-style re-analysis (LatencyTables over the plan's own granted
+// state). Compared against bench/baselines/golden_plans.json with exact
+// (or near-exact) tolerances, this catches allocation-quality drift — a
+// pass silently granting fewer tensors, a DNNK change that loses gain —
+// even when end-to-end latency noise would hide it.
+//
+// The example-graph targets resolve relative to the working directory
+// (run from the repo root, as CI does); override with
+// LCMM_GOLDEN_GRAPHS_DIR. A target that cannot be loaded is reported and
+// skipped — the diff against the baseline then fails with MISSING rows,
+// which is the gate working as intended.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "common.hpp"
+#include "io/text_format.hpp"
+
+namespace {
+
+using namespace lcmm;
+
+struct Target {
+  std::string name;        ///< Metric dim + table label.
+  std::string model;       ///< Registry name, empty for file graphs.
+  std::string graph_file;  ///< Relative to the graphs dir.
+  hw::Precision precision;
+};
+
+const Target kTargets[] = {
+    {"squeezenet", "squeezenet", "", hw::Precision::kInt8},
+    {"alexnet", "alexnet", "", hw::Precision::kInt16},
+    {"mobilenet_v1", "mobilenet_v1", "", hw::Precision::kInt8},
+    {"googlenet", "googlenet", "", hw::Precision::kInt16},
+    {"tiny_detector", "", "tiny_detector.lcmm", hw::Precision::kInt8},
+    {"depthwise_block", "", "depthwise_block.lcmm", hw::Precision::kInt16},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv, "golden_plans");
+  const char* dir_env = std::getenv("LCMM_GOLDEN_GRAPHS_DIR");
+  const std::string graphs_dir = dir_env != nullptr ? dir_env : "examples/graphs";
+
+  util::Table table({"graph", "precision", "vbufs", "phys", "resident",
+                     "tensor bytes", "BRAM", "URAM", "est (ms)", "gain (ms)",
+                     "check"});
+  int failures = 0;
+  for (const Target& t : kTargets) {
+   try {
+    const graph::ComputationGraph graph =
+        t.model.empty() ? io::load_graph_file(graphs_dir + "/" + t.graph_file)
+                        : models::build_by_name(t.model);
+    const core::LcmmOptions options;
+    core::LcmmCompiler compiler(hw::FpgaDevice::vu9p(), t.precision, options);
+    const core::AllocationPlan plan = compiler.compile(graph);
+
+    // Independent re-derivation of the allocation quality: latency tables
+    // rebuilt from the plan's own design, UMM state vs the granted state.
+    const hw::PerfModel model(graph, plan.design);
+    const core::LatencyTables tables(model);
+    const double gain_ms =
+        (tables.total_latency(core::OnChipState(graph.num_layers())) -
+         tables.total_latency(plan.state)) *
+        1e3;
+
+    const check::CheckReport report =
+        check::run_checks(graph, plan, check::CheckOptions::from(options));
+
+    const bench::Dims dims{{"net", t.name},
+                           {"precision", hw::to_string(t.precision)}};
+    auto count = [&](const char* name, double v, bench::Direction dir) {
+      harness.add(name, v, "count", dir, dims);
+    };
+    count("virtual_buffers", static_cast<double>(plan.buffers.size()),
+          bench::Direction::kLowerIsBetter);
+    count("physical_buffers", static_cast<double>(plan.physical.size()),
+          bench::Direction::kHigherIsBetter);
+    count("resident_weights", static_cast<double>(plan.resident_weights.size()),
+          bench::Direction::kHigherIsBetter);
+    count("bram_blocks", plan.bram_used, bench::Direction::kLowerIsBetter);
+    count("uram_blocks", plan.uram_used, bench::Direction::kLowerIsBetter);
+    count("check_errors", report.num_errors(), bench::Direction::kLowerIsBetter);
+    count("check_warnings", report.num_warnings(),
+          bench::Direction::kLowerIsBetter);
+    count("degraded", plan.rung == resil::Rung::kFullLcmm ? 0 : 1,
+          bench::Direction::kLowerIsBetter);
+    harness.add("tensor_buffer_bytes",
+                static_cast<double>(plan.tensor_buffer_bytes), "bytes",
+                bench::Direction::kHigherIsBetter, dims);
+    harness.add("est_latency_ms", plan.est_latency_s * 1e3, "ms",
+                bench::Direction::kLowerIsBetter, dims);
+    harness.add("recomputed_gain_ms", gain_ms, "ms",
+                bench::Direction::kHigherIsBetter, dims);
+
+    table.add_row({t.name, hw::to_string(t.precision),
+                   std::to_string(plan.buffers.size()),
+                   std::to_string(plan.physical.size()),
+                   std::to_string(plan.resident_weights.size()),
+                   util::fmt_mebibytes(static_cast<double>(
+                       plan.tensor_buffer_bytes)),
+                   std::to_string(plan.bram_used),
+                   std::to_string(plan.uram_used),
+                   util::fmt_fixed(plan.est_latency_s * 1e3, 3),
+                   util::fmt_fixed(gain_ms, 3),
+                   report.num_errors() == 0 ? "clean"
+                                            : std::to_string(
+                                                  report.num_errors()) +
+                                                  " errors"});
+    if (report.num_errors() > 0) ++failures;
+   } catch (const std::exception& e) {
+    std::cerr << "golden_plans: skipping " << t.name << ": " << e.what()
+              << "\n";
+    ++failures;
+   }
+  }
+  std::cout << "Golden plans: structural snapshots for the regression gate\n"
+            << table
+            << "Any drift here means the allocator changed its mind — "
+               "re-record bench/baselines/golden_plans.json only when the "
+               "change is intentional (docs/benchmarking.md).\n";
+  const int harness_rc = harness.finish();
+  return failures > 0 ? 1 : harness_rc;
+}

@@ -1,13 +1,21 @@
 // Algorithm-runtime microbenchmarks (google-benchmark): the compile-time
 // cost of each LCMM pass on the real networks. The paper's framework runs
 // inside a DSE loop, so pass runtime matters.
+//
+// Unlike the table/figure benches this binary measures host wall-clock
+// only, so its lcmm::bench document carries wall-kind metrics exclusively
+// — recorded for trend plots, never gated by lcmm_bench_diff. The custom
+// main below strips the harness's --json=<path> before handing the rest
+// of argv to google-benchmark.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "bench/bench.hpp"
 #include "lcmm.hpp"
 
 namespace {
@@ -144,6 +152,58 @@ void BM_Simulate(benchmark::State& state, const char* name) {
 BENCHMARK_CAPTURE(BM_Simulate, resnet152, "resnet152");
 BENCHMARK_CAPTURE(BM_Simulate, inception_v4, "inception_v4");
 
+/// Forwards each finished benchmark's wall time into the harness run.
+class HarnessReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit HarnessReporter(lcmm::bench::BenchRun& run) : run_(&run) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      if (r.error_occurred || r.run_type != Run::RT_Iteration) continue;
+      // On a 1-core host Arg(1)->Arg(hardware_jobs()) registers the same
+      // name twice; keep the first measurement instead of tripping the
+      // harness's duplicate-key guard.
+      if (!seen_.insert(r.benchmark_name()).second) continue;
+      const double iters = r.iterations > 0 ? static_cast<double>(r.iterations)
+                                            : 1.0;
+      run_->add_wall("real_time_s", r.real_accumulated_time / iters,
+                     {{"benchmark", r.benchmark_name()}});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  lcmm::bench::BenchRun* run_;
+  std::set<std::string> seen_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split argv: the harness owns --json=<path>; google-benchmark owns the
+  // --benchmark_* flags and must not see ours.
+  std::vector<char*> gbench_args{argv[0]};
+  std::vector<char*> harness_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      harness_args.push_back(argv[i]);
+    } else {
+      gbench_args.push_back(argv[i]);
+    }
+  }
+  int harness_argc = static_cast<int>(harness_args.size());
+  lcmm::bench::Harness harness(harness_argc, harness_args.data(),
+                               "perf_algorithms");
+
+  int gbench_argc = static_cast<int>(gbench_args.size());
+  benchmark::Initialize(&gbench_argc, gbench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc,
+                                             gbench_args.data())) {
+    return 2;
+  }
+  HarnessReporter reporter(harness.run());
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return harness.finish();
+}

@@ -13,8 +13,9 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "stress_random_graphs");
   constexpr int kGraphs = 30;
   constexpr hw::Precision kPrecisions[] = {hw::Precision::kInt8,
                                            hw::Precision::kInt16};
@@ -59,10 +60,20 @@ int main() {
                    util::fmt_fixed(*std::max_element(speedups.begin(),
                                                      speedups.end()), 2),
                    std::to_string(wins), std::to_string(fallbacks)});
+    const bench::Dims dims{{"precision", hw::to_string(p)}};
+    harness.add("geomean_speedup", std::exp(log_sum / kGraphs), "x",
+                bench::Direction::kHigherIsBetter, dims);
+    harness.add("min_speedup",
+                *std::min_element(speedups.begin(), speedups.end()), "x",
+                bench::Direction::kHigherIsBetter, dims);
+    harness.add("wins", wins, "count", bench::Direction::kHigherIsBetter,
+                dims);
+    harness.add("fallbacks", fallbacks, "count",
+                bench::Direction::kLowerIsBetter, dims);
   }
   std::cout << "Random-graph stress: LCMM vs UMM on generated DAGs\n"
             << table
             << "The no-benefit fallback guarantees min >= ~1.00x; wins track "
                "how often generated graphs have exploitable bottlenecks.\n";
-  return 0;
+  return harness.finish();
 }

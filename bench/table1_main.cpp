@@ -11,16 +11,19 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "table1_main");
 
   std::vector<driver::BatchJob> jobs;
   std::vector<std::string> labels;
+  std::vector<bench::Dims> dims;
   for (const auto& [label, model_name] : bench::kSuite) {
     for (hw::Precision p : hw::kAllPrecisions) {
       jobs.push_back({models::build_by_name(model_name),
                       hw::FpgaDevice::vu9p(), p, core::LcmmOptions{}});
       labels.push_back(std::string(label) + " " + hw::to_string(p));
+      dims.push_back({{"net", label}, {"precision", hw::to_string(p)}});
     }
   }
   const std::vector<driver::BatchOutcome> outcomes = driver::compile_many(
@@ -46,13 +49,17 @@ int main() {
                      util::fmt_pct(d->clb_util), util::fmt_pct(d->sram_util),
                      d->is_umm ? "" : util::fmt_fixed(r.speedup(), 2)});
     }
+    bench::add_pair_metrics(harness.run(), dims[i], r.umm_report,
+                            r.lcmm_report);
     log_sum += std::log(r.speedup());
     ++pairs;
   }
+  const double geomean = std::exp(log_sum / pairs);
+  harness.add("geomean_speedup", geomean, "x",
+              bench::Direction::kHigherIsBetter);
   std::cout << "Table 1: Detailed results (UMM vs LCMM on Xilinx VU9P)\n"
             << table
-            << "Average (geomean) speedup: "
-            << util::fmt_fixed(std::exp(log_sum / pairs), 2)
+            << "Average (geomean) speedup: " << util::fmt_fixed(geomean, 2)
             << "x   (paper reports 1.36x)\n";
-  return 0;
+  return harness.finish();
 }

@@ -9,8 +9,9 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "table2_memory");
   util::Table table({"Design", "Net", "BRAM %", "URAM %", "POL %",
                      "Tensor buffers", "Tensor bytes"});
   std::map<std::string, bench::PairResult> kept;
@@ -18,6 +19,18 @@ int main() {
     for (const auto& [label, model_name] : bench::kSuite) {
       const auto graph = models::build_by_name(model_name);
       bench::PairResult r = bench::run_pair(graph, p);
+      const bench::Dims dims{{"net", label}, {"precision", hw::to_string(p)}};
+      harness.add("bram_util", r.lcmm.bram_util, "frac",
+                  bench::Direction::kLowerIsBetter, dims);
+      harness.add("uram_util", r.lcmm.uram_util, "frac",
+                  bench::Direction::kLowerIsBetter, dims);
+      harness.add("pol", r.lcmm.pol, "frac",
+                  bench::Direction::kHigherIsBetter, dims);
+      harness.add("tensor_buffers", r.lcmm.num_on_chip_buffers, "count",
+                  bench::Direction::kHigherIsBetter, dims);
+      harness.add("tensor_buffer_bytes",
+                  static_cast<double>(r.lcmm.tensor_buffer_bytes), "bytes",
+                  bench::Direction::kHigherIsBetter, dims);
       table.add_row({std::string("UMM ") + hw::to_string(p), label,
                      util::fmt_pct(r.umm.bram_util), util::fmt_pct(r.umm.uram_util),
                      "-", "0", "0"});
@@ -39,9 +52,16 @@ int main() {
   const auto it = kept.find("RN8");
   if (it != kept.end()) {
     std::map<int, int> by_blocks;
+    int uram_buffers = 0;
     for (const core::PhysicalBuffer& b : it->second.lcmm_plan.physical) {
-      if (b.sram.pool == mem::SramPool::kUram) ++by_blocks[b.sram.blocks];
+      if (b.sram.pool == mem::SramPool::kUram) {
+        ++by_blocks[b.sram.blocks];
+        ++uram_buffers;
+      }
     }
+    harness.add("uram_census_buffers", uram_buffers, "count",
+                bench::Direction::kHigherIsBetter,
+                {{"net", "RN"}, {"precision", "int8"}});
     std::cout << "\nResNet-152 8-bit URAM tensor-buffer census "
                  "(blocks-per-buffer: count):\n";
     for (const auto& [blocks, count] : by_blocks) {
@@ -49,5 +69,5 @@ int main() {
                 << (count > 1 ? "s" : "") << "\n";
     }
   }
-  return 0;
+  return harness.finish();
 }

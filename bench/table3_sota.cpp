@@ -29,8 +29,9 @@ constexpr Published kPublished[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "table3_sota");
   util::Table table({"Design", "DNN model", "Freq (MHz)", "DSP", "BRAM (MB)",
                      "URAM (MB)", "Logic (K)", "Tops", "Latency/Image (ms)",
                      "Perf. density (ops/DSP/cycle)"});
@@ -60,6 +61,17 @@ int main() {
                    util::fmt_fixed(ours.latency_ms, 2),
                    util::fmt_fixed(our_density, 2)});
     table.add_separator();
+    const bench::Dims dims{{"net", p.model}, {"precision", "int16"}};
+    harness.add("latency_ms", ours.latency_ms, "ms",
+                bench::Direction::kLowerIsBetter, dims);
+    harness.add("tops", ours.tops, "Tops", bench::Direction::kHigherIsBetter,
+                dims);
+    harness.add("perf_density", our_density, "ops/DSP/cycle",
+                bench::Direction::kHigherIsBetter, dims);
+    harness.add("bram_mb", bram_mb, "MB", bench::Direction::kLowerIsBetter,
+                dims);
+    harness.add("uram_mb", uram_mb, "MB", bench::Direction::kLowerIsBetter,
+                dims);
   }
   std::cout << "Table 3: Comparison with state-of-the-art designs "
                "(16-bit fixed point, Xilinx VU9P)\n"
@@ -67,5 +79,5 @@ int main() {
             << "Note: published rows are the papers' reported numbers; ours "
                "come from the analytical simulator, so compare shapes, not "
                "absolutes.\n";
-  return 0;
+  return harness.finish();
 }

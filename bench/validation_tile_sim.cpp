@@ -7,8 +7,9 @@
 #include "common.hpp"
 #include "sim/tile_sim.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcmm;
+  bench::Harness harness(argc, argv, "validation_tile_sim");
   // Collect compiler/simulator telemetry so the run can assert below that
   // the event-driven numbers actually came from per-tile simulation.
   obs::StatsSession stats;
@@ -33,6 +34,11 @@ int main() {
                        util::fmt_fixed(a * 1e3, 3), util::fmt_fixed(e * 1e3, 3),
                        (e >= a ? "+" : "") +
                            util::fmt_fixed((e / a - 1.0) * 100.0, 1) + "%"});
+        harness.add("model_delta_pct", (e / a - 1.0) * 100.0, "%",
+                    bench::Direction::kLowerIsBetter,
+                    {{"net", label},
+                     {"precision", hw::to_string(p)},
+                     {"design", state}});
       };
       row("UMM", a_umm, e_umm);
       row("LCMM", a_lcmm, e_lcmm);
@@ -47,5 +53,5 @@ int main() {
   // 3 networks x 2 precisions x 2 states, each all layers and many tiles.
   bench::expect_counter_at_least(stats.stats(), "tile_sim.layers", 12 * 50);
   bench::expect_counter_at_least(stats.stats(), "tile_sim.tiles", 12 * 1000);
-  return 0;
+  return harness.finish();
 }

@@ -1,0 +1,175 @@
+#include "bench/bench.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lcmm::bench {
+
+const char* to_string(Direction d) {
+  return d == Direction::kHigherIsBetter ? "higher" : "lower";
+}
+
+const char* to_string(Kind k) { return k == Kind::kModel ? "model" : "wall"; }
+
+namespace {
+
+Direction direction_from_string(const std::string& s) {
+  if (s == "higher") return Direction::kHigherIsBetter;
+  if (s == "lower") return Direction::kLowerIsBetter;
+  throw std::runtime_error("bench: unknown direction '" + s + "'");
+}
+
+Kind kind_from_string(const std::string& s) {
+  if (s == "model") return Kind::kModel;
+  if (s == "wall") return Kind::kWall;
+  throw std::runtime_error("bench: unknown metric kind '" + s + "'");
+}
+
+}  // namespace
+
+std::string Metric::key() const {
+  if (dims.empty()) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : dims) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=" + v;
+  }
+  out += '}';
+  return out;
+}
+
+void BenchRun::add(std::string name, double value, std::string unit,
+                   Direction dir, Dims dims, Kind kind) {
+  Metric m;
+  m.name = std::move(name);
+  m.dims = std::move(dims);
+  m.value = value;
+  m.unit = std::move(unit);
+  m.direction = dir;
+  m.kind = kind;
+  const std::string key = m.key();
+  if (!by_key_.emplace(key, metrics_.size()).second) {
+    throw std::logic_error("bench: duplicate metric key '" + key + "'");
+  }
+  metrics_.push_back(std::move(m));
+}
+
+void BenchRun::add_wall(std::string name, double seconds, Dims dims) {
+  add(std::move(name), seconds, "s", Direction::kLowerIsBetter,
+      std::move(dims), Kind::kWall);
+}
+
+const Metric* BenchRun::find(const std::string& key) const {
+  const auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : &metrics_[it->second];
+}
+
+util::Json BenchRun::to_json() const {
+  util::Json doc = util::Json::object();
+  doc["schema"] = kSchema;
+  doc["suite"] = suite_;
+  util::Json metrics = util::Json::array();
+  for (const Metric& m : metrics_) {
+    util::Json entry = util::Json::object();
+    entry["name"] = m.name;
+    if (!m.dims.empty()) {
+      util::Json dims = util::Json::object();
+      for (const auto& [k, v] : m.dims) dims[k] = v;
+      entry["dims"] = std::move(dims);
+    }
+    entry["value"] = m.value;
+    entry["unit"] = m.unit;
+    entry["direction"] = to_string(m.direction);
+    entry["kind"] = to_string(m.kind);
+    metrics.push(std::move(entry));
+  }
+  doc["metrics"] = std::move(metrics);
+  return doc;
+}
+
+BenchRun BenchRun::from_json(const util::Json& doc) {
+  if (!doc.is_object() || !doc.contains("schema") ||
+      !doc.at("schema").is_string()) {
+    throw std::runtime_error("bench: not a bench-run document (no schema tag)");
+  }
+  if (doc.at("schema").as_string() != kSchema) {
+    throw std::runtime_error("bench: unsupported schema '" +
+                             doc.at("schema").as_string() + "' (want " +
+                             kSchema + ")");
+  }
+  BenchRun run(doc.at("suite").as_string());
+  for (const util::Json& entry : doc.at("metrics").array_items()) {
+    Dims dims;
+    if (entry.contains("dims")) {
+      for (const auto& [k, v] : entry.at("dims").object_items()) {
+        dims[k] = v.as_string();
+      }
+    }
+    run.add(entry.at("name").as_string(), entry.at("value").as_double(),
+            entry.at("unit").as_string(),
+            direction_from_string(entry.at("direction").as_string()),
+            std::move(dims), kind_from_string(entry.at("kind").as_string()));
+  }
+  return run;
+}
+
+BenchRun BenchRun::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("bench: cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(util::Json::parse(buffer.str()));
+}
+
+void BenchRun::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("bench: cannot write '" + path + "'");
+  out << to_json().dump(2) << "\n";
+  if (!out) throw std::runtime_error("bench: short write to '" + path + "'");
+}
+
+Harness::Harness(int argc, char** argv, std::string suite)
+    : run_(std::move(suite)), start_(std::chrono::steady_clock::now()) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path_ = arg.substr(7);
+      if (json_path_.empty()) {
+        std::fprintf(stderr, "%s: --json needs a path\n", run_.suite().c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--help") {
+      std::printf("usage: %s [--json=<path>]\n\n"
+                  "Prints the human-readable tables on stdout; with --json,\n"
+                  "also writes the %s metric document for lcmm_bench_diff.\n",
+                  run_.suite().c_str(), kSchema);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n",
+                   run_.suite().c_str(), arg.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+int Harness::finish() {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  run_.add_wall("bench_wall_s", wall);
+  if (json_path_.empty()) return 0;
+  try {
+    run_.write_json(json_path_);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", run_.suite().c_str(), e.what());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace lcmm::bench

@@ -1,7 +1,9 @@
 #include "util/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace lcmm::util {
@@ -21,6 +23,56 @@ std::size_t Json::size() const {
   if (is_object()) return std::get<Object>(value_).size();
   if (is_array()) return std::get<Array>(value_).size();
   return 0;
+}
+
+bool Json::as_bool() const {
+  if (!is_bool()) throw std::logic_error("Json: as_bool on a non-bool");
+  return std::get<bool>(value_);
+}
+
+std::int64_t Json::as_int() const {
+  if (!is_int()) throw std::logic_error("Json: as_int on a non-integer");
+  return std::get<std::int64_t>(value_);
+}
+
+double Json::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(value_));
+  if (is_double()) return std::get<double>(value_);
+  throw std::logic_error("Json: as_double on a non-number");
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) throw std::logic_error("Json: as_string on a non-string");
+  return std::get<std::string>(value_);
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && std::get<Object>(value_).count(key) > 0;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (!is_object()) throw std::logic_error("Json: at(key) on a non-object");
+  const Object& o = std::get<Object>(value_);
+  const auto it = o.find(key);
+  if (it == o.end()) throw std::out_of_range("Json: missing key '" + key + "'");
+  return it->second;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (!is_array()) throw std::logic_error("Json: at(index) on a non-array");
+  const Array& a = std::get<Array>(value_);
+  if (index >= a.size()) throw std::out_of_range("Json: index out of range");
+  return a[index];
+}
+
+const Json::Object& Json::object_items() const {
+  if (!is_object()) throw std::logic_error("Json: object_items on a non-object");
+  return std::get<Object>(value_);
+}
+
+const Json::Array& Json::array_items() const {
+  if (!is_array()) throw std::logic_error("Json: array_items on a non-array");
+  return std::get<Array>(value_);
 }
 
 namespace {
@@ -66,8 +118,14 @@ void Json::write(std::string& out, int indent, int depth) const {
         out += "null";  // JSON has no Inf/NaN
         return;
       }
+      // Shortest representation that parses back to the same bits, so a
+      // dump/parse round trip is lossless (the bench gate compares stored
+      // baselines with exact tolerances).
       char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.12g", v);
+      for (int prec : {15, 16, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v) break;
+      }
       out += buf;
     }
     void operator()(const std::string& s) const { write_escaped(out, s); }
@@ -113,6 +171,216 @@ std::string Json::dump(int indent) const {
   std::string out;
   write(out, indent, 0);
   return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the grammar we emit (RFC 8259 minus the
+/// exotica: no surrogate-pair decoding beyond the BMP escapes we write).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("end of input");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 200;
+
+  [[noreturn]] void fail(const std::string& expected) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw JsonParseError("JSON parse error at " + std::to_string(line) + ":" +
+                         std::to_string(col) + ": expected " + expected);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("'") + c + "'");
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("shallower nesting");
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_word("true")) return Json(true);
+        fail("'true'");
+      case 'f':
+        if (consume_word("false")) return Json(false);
+        fail("'false'");
+      case 'n':
+        if (consume_word("null")) return Json(nullptr);
+        fail("'null'");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("a string key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value(depth + 1);
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      arr.push(parse_value(depth + 1));
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("a closing '\"'");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("an escape character");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("4 hex digits");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("a hex digit");
+            }
+          }
+          // UTF-8 encode the BMP code point (we never emit surrogates).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("a valid escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    bool integral = true;
+    if (consume('.')) {
+      integral = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      integral = false;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") fail("a number");
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Json(static_cast<std::int64_t>(v));
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("a number");
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
 }
 
 }  // namespace lcmm::util
